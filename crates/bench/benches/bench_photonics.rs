@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the photonic substrate: the hot kernels
+//! behind Figs. 5/6 (routing), §3.3 (phase programming) and the compute
+//! path (E-field propagation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flumen_linalg::{random_unitary, svd, C64, RMat};
+use flumen_photonics::clements::program_mesh;
+use flumen_photonics::{routing, FlumenFabric, MzimMesh, PartitionConfig, SvdCircuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_clements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clements_programming");
+    for n in [4usize, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let u = random_unitary(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mesh = MzimMesh::new(n);
+                program_mesh(&mut mesh, &u).unwrap();
+                mesh
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_propagation");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let u = random_unitary(n, &mut rng);
+        let mut mesh = MzimMesh::new(n);
+        program_mesh(&mut mesh, &u).unwrap();
+        let x: Vec<C64> = (0..n).map(|i| C64::from_re((i as f64 * 0.1).sin())).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mesh.propagate(&x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for n in [8usize, 16, 64] {
+        let perm: Vec<usize> = (0..n).rev().collect();
+        group.bench_with_input(BenchmarkId::new("permutation", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mesh = MzimMesh::new(n);
+                routing::route_permutation(&mut mesh, &perm).unwrap();
+                mesh
+            })
+        });
+        let dests: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mesh = MzimMesh::new(n);
+                routing::route_multicast(&mut mesh, 0, &dests).unwrap();
+                mesh
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_circuit");
+    for n in [4usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let m = RMat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        group.bench_with_input(BenchmarkId::new("program", n), &n, |b, _| {
+            b.iter(|| SvdCircuit::program(&m).unwrap())
+        });
+        let circuit = SvdCircuit::program(&m).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("apply", n), &n, |b, _| {
+            b.iter(|| circuit.apply(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("svd_only", n), &n, |b, _| {
+            b.iter(|| svd(&m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_partition(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
+    c.bench_function("fabric_partition_and_compute", |b| {
+        b.iter(|| {
+            let mut fabric = FlumenFabric::new(8).unwrap();
+            fabric
+                .set_partitions(&[
+                    (4, PartitionConfig::Comm),
+                    (4, PartitionConfig::Compute(&m)),
+                ])
+                .unwrap();
+            fabric.compute_in(1, &[0.5, -0.5, 0.25, 1.0]).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clements,
+    bench_propagation,
+    bench_routing,
+    bench_svd_circuit,
+    bench_fabric_partition
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion macro-benchmarks: full-system runs of reduced benchmark
+//! instances per topology, plus the linear-algebra substrate's block
+//! matmul (the paper's Eq. 3 accumulation path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flumen::{run_benchmark, RuntimeConfig, SystemTopology};
+use flumen_linalg::{BlockMatrix, RMat};
+use flumen_workloads::{ImageBlur, Rotation3d};
+
+fn bench_full_system(c: &mut Criterion) {
+    let cfg = RuntimeConfig::paper();
+    let bench = Rotation3d::paper();
+    let mut group = c.benchmark_group("fullsys_rotation3d");
+    group.sample_size(10);
+    for topo in SystemTopology::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(topo.name()), &topo, |b, &t| {
+            b.iter(|| run_benchmark(&bench, t, &cfg))
+        });
+    }
+    group.finish();
+
+    let blur = ImageBlur::small();
+    let mut group = c.benchmark_group("fullsys_blur_small");
+    group.sample_size(10);
+    for topo in [SystemTopology::Mesh, SystemTopology::FlumenA] {
+        group.bench_with_input(BenchmarkId::from_parameter(topo.name()), &topo, |b, &t| {
+            b.iter(|| run_benchmark(&blur, t, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_matmul");
+    for size in [32usize, 128] {
+        let m = RMat::from_fn(size, size, |r, cidx| ((r * size + cidx) as f64 * 0.01).sin());
+        let x: Vec<f64> = (0..size).map(|i| (i as f64 * 0.1).cos()).collect();
+        let blocks = BlockMatrix::decompose(&m, 8);
+        group.bench_with_input(BenchmarkId::new("blocked_8", size), &size, |b, _| {
+            b.iter(|| blocks.mul_vec_exact(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", size), &size, |b, _| {
+            b.iter(|| m.mul_vec(&x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_system, bench_block_matmul);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — the attenuator column's loss-equalization role (paper
+//! §3.1.2): without it, receivers see path-dependent power levels (the
+//! longest path in the 8-input example crosses ~7 MZIs, the shortest ~4);
+//! with it, every receiver sees the worst-case level exactly.
+
+use flumen::{DeviceParams, FlumenFabric};
+use flumen_bench::{write_csv, Table};
+use flumen_photonics::db_to_lin;
+
+fn main() {
+    let dev = DeviceParams::paper();
+    println!("attenuator-column loss equalization (8-input fabric)");
+    let mut table = Table::new(&["perm", "spread_off_db", "spread_on_db", "worst_db"]);
+    let mut rows = Vec::new();
+    let perms: [&[usize]; 4] = [
+        &[7, 6, 5, 4, 3, 2, 1, 0],
+        &[5, 2, 7, 0, 3, 6, 1, 4],
+        &[1, 0, 3, 2, 5, 4, 7, 6],
+        &[3, 4, 5, 6, 7, 0, 1, 2],
+    ];
+    for (k, perm) in perms.iter().enumerate() {
+        let mut fabric = FlumenFabric::new(8).unwrap();
+        fabric.configure_permutation(perm).unwrap();
+        // Received power spread before equalization: per-path MZI counts.
+        let losses: Vec<f64> = (0..8)
+            .map(|s| fabric.trace_route(s).unwrap().mzis_traversed as f64 * dev.mzi_loss_db())
+            .collect();
+        let max = losses.iter().cloned().fold(f64::MIN, f64::max);
+        let min = losses.iter().cloned().fold(f64::MAX, f64::min);
+        let spread_off = max - min;
+        let worst = fabric.equalize_losses(&dev).unwrap();
+        // After equalization: every path power equals the worst case.
+        let powers: Vec<f64> = (0..8)
+            .map(|s| {
+                let t = fabric.trace_route(s).unwrap();
+                let path = db_to_lin(-(t.mzis_traversed as f64 * dev.mzi_loss_db()));
+                let a = fabric.attenuations()[t.mid_wire];
+                path * a * a
+            })
+            .collect();
+        let pmax = powers.iter().cloned().fold(f64::MIN, f64::max);
+        let pmin = powers.iter().cloned().fold(f64::MAX, f64::min);
+        let spread_on = 10.0 * (pmax / pmin).log10();
+        table.row(vec![
+            format!("p{k}"),
+            format!("{spread_off:.3}"),
+            format!("{spread_on:.5}"),
+            format!("{worst:.3}"),
+        ]);
+        rows.push(vec![
+            format!("p{k}"),
+            format!("{spread_off:.4}"),
+            format!("{spread_on:.6}"),
+            format!("{worst:.4}"),
+        ]);
+    }
+    table.print();
+    write_csv("abl_equalization.csv", &["perm", "spread_off_db", "spread_on_db", "worst_db"], &rows);
+    println!("\n  equalization collapses the received-power spread to 0 dB at the cost");
+    println!("  of pinning every link at the worst-case path loss — simplifying the");
+    println!("  receivers' decision thresholds (paper §3.1.2).");
+}

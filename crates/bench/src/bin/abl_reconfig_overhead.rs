@@ -1,0 +1,73 @@
+//! §5.2/E14 ablation — reconfiguration overheads.
+//!
+//! Two studies:
+//! 1. The phase-DAC double-buffering assumption: sweep the fraction of the
+//!    6 ns per-block switch that pipelining hides. At 0 the fabric spends
+//!    almost all its time settling phases and block-heavy kernels lose;
+//!    the paper's reported speedups imply a deeply pipelined control path.
+//! 2. The communication impact of compute partitions: average packet
+//!    latency on Flumen-A vs Flumen-I (paper: ~9 % increase).
+
+use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
+use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_workloads::{Benchmark, ImageBlur, Vgg16Fc};
+
+fn main() {
+    let benches: Vec<Box<dyn Benchmark>> = if quick_mode() {
+        vec![Box::new(Vgg16Fc::small())]
+    } else {
+        vec![Box::new(Vgg16Fc::paper()), Box::new(ImageBlur::paper())]
+    };
+
+    println!("E14a: sensitivity to phase-DAC pipelining (per-block switch hiding)");
+    let mut table = Table::new(&["bench", "pipeline", "fa_cycles", "vs_mesh"]);
+    let mut rows = Vec::new();
+    for bench in &benches {
+        let mesh = run_benchmark(bench.as_ref(), SystemTopology::Mesh, &RuntimeConfig::paper());
+        for pipeline in [0.0f64, 0.5, 0.9, 0.95, 0.995] {
+            let mut cfg = RuntimeConfig::paper();
+            cfg.control =
+                ControlUnitParams { config_pipeline: pipeline, ..ControlUnitParams::paper() };
+            cfg.max_cycles = 400_000_000;
+            let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
+            let s = mesh.cycles as f64 / fa.cycles as f64;
+            table.row(vec![
+                bench.name().into(),
+                format!("{pipeline:.3}"),
+                fa.cycles.to_string(),
+                format!("{s:.2}x"),
+            ]);
+            rows.push(vec![
+                bench.name().to_string(),
+                format!("{pipeline:.3}"),
+                fa.cycles.to_string(),
+                format!("{s:.4}"),
+            ]);
+        }
+    }
+    table.print();
+    write_csv("abl_reconfig_pipelining.csv", &["bench", "pipeline", "fa_cycles", "speedup_vs_mesh"], &rows);
+
+    println!("\nE14b: packet-latency impact of compute partitions (paper: ~9% increase)");
+    let mut table2 = Table::new(&["bench", "flumen_i_lat", "flumen_a_lat", "increase"]);
+    let mut rows2 = Vec::new();
+    for bench in &benches {
+        let cfg = RuntimeConfig::paper();
+        let fi = run_benchmark(bench.as_ref(), SystemTopology::FlumenI, &cfg);
+        let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
+        let (li, la) = (
+            fi.avg_packet_latency().unwrap_or(0.0),
+            fa.avg_packet_latency().unwrap_or(0.0),
+        );
+        let inc = 100.0 * (la - li) / li.max(1e-9);
+        table2.row(vec![
+            bench.name().into(),
+            format!("{li:.1}"),
+            format!("{la:.1}"),
+            format!("{inc:+.1}%"),
+        ]);
+        rows2.push(vec![bench.name().to_string(), format!("{li:.3}"), format!("{la:.3}"), format!("{inc:.2}")]);
+    }
+    table2.print();
+    write_csv("abl_partition_latency.csv", &["bench", "flumen_i_latency", "flumen_a_latency", "increase_pct"], &rows2);
+}

@@ -1,0 +1,48 @@
+//! §3.4 ablation — sensitivity of the Algorithm 1 parameters τ, η and ζ.
+//!
+//! The paper picks τ = 100 (collapse past ~170 as requests pile up),
+//! η = 40 % (≲30 % too strict — compute starves; ≳55 % too aggressive —
+//! computation blocks communication), and ζ = 50 %.
+
+use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
+use flumen::scheduler::SchedulerParams;
+use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_workloads::{Benchmark, ImageBlur};
+
+fn run_with(sched: SchedulerParams, bench: &dyn Benchmark) -> (u64, u64) {
+    let mut cfg = RuntimeConfig::paper();
+    cfg.control = ControlUnitParams { scheduler: sched, ..ControlUnitParams::paper() };
+    let r = run_benchmark(bench, SystemTopology::FlumenA, &cfg);
+    (r.cycles, r.counts.mzim_mvms)
+}
+
+fn main() {
+    let bench: Box<dyn Benchmark> =
+        if quick_mode() { Box::new(ImageBlur::small()) } else { Box::new(ImageBlur::paper()) };
+
+    println!("§3.4 scheduler sensitivity on {}", bench.name());
+
+    let mut table = Table::new(&["param", "value", "cycles", "mzim_mvms"]);
+    let mut rows = Vec::new();
+    for tau in [25u64, 50, 100, 170, 250] {
+        let (cycles, mvms) =
+            run_with(SchedulerParams { tau, ..SchedulerParams::paper() }, bench.as_ref());
+        table.row(vec!["tau".into(), tau.to_string(), cycles.to_string(), mvms.to_string()]);
+        rows.push(vec!["tau".into(), tau.to_string(), cycles.to_string(), mvms.to_string()]);
+    }
+    for eta in [0.1f64, 0.3, 0.4, 0.55, 0.7] {
+        let (cycles, mvms) =
+            run_with(SchedulerParams { eta, ..SchedulerParams::paper() }, bench.as_ref());
+        table.row(vec!["eta".into(), format!("{eta:.2}"), cycles.to_string(), mvms.to_string()]);
+        rows.push(vec!["eta".into(), format!("{eta:.2}"), cycles.to_string(), mvms.to_string()]);
+    }
+    for zeta in [0.125f64, 0.25, 0.5, 1.0] {
+        let (cycles, mvms) =
+            run_with(SchedulerParams { zeta, ..SchedulerParams::paper() }, bench.as_ref());
+        table.row(vec!["zeta".into(), format!("{zeta:.3}"), cycles.to_string(), mvms.to_string()]);
+        rows.push(vec!["zeta".into(), format!("{zeta:.3}"), cycles.to_string(), mvms.to_string()]);
+    }
+    table.print();
+    write_csv("abl_scheduler_sensitivity.csv", &["param", "value", "cycles", "mzim_mvms"], &rows);
+    println!("\n  paper operating point: tau=100, eta=0.40, zeta=0.50");
+}

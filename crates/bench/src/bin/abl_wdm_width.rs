@@ -1,0 +1,42 @@
+//! Ablation — WDM width for computation: how many wavelengths the compute
+//! path uses (Table 1 fixes 8; this sweeps 1…8 and reports Flumen-A
+//! runtime, photonic energy and speedup on ResNet50 Conv3).
+
+use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
+use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_power::compute;
+use flumen_workloads::{Benchmark, ResnetConv3};
+
+fn main() {
+    let bench: Box<dyn Benchmark> =
+        if quick_mode() { Box::new(ResnetConv3::small()) } else { Box::new(ResnetConv3::paper()) };
+    let mesh = run_benchmark(bench.as_ref(), SystemTopology::Mesh, &RuntimeConfig::paper());
+
+    println!("WDM compute width on {} (mesh baseline: {} cycles)", bench.name(), mesh.cycles);
+    let mut table = Table::new(&["lambdas", "fa_cycles", "speedup", "pj_per_mac_model"]);
+    let mut rows = Vec::new();
+    for lambdas in [1usize, 2, 4, 8] {
+        let mut cfg = RuntimeConfig::paper();
+        cfg.control = ControlUnitParams { compute_lambdas: lambdas, ..ControlUnitParams::paper() };
+        cfg.max_cycles = 400_000_000;
+        let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
+        let s = mesh.cycles as f64 / fa.cycles as f64;
+        let pj = compute::flumen_mac_pj(4, lambdas);
+        table.row(vec![
+            lambdas.to_string(),
+            fa.cycles.to_string(),
+            format!("{s:.2}x"),
+            format!("{pj:.4}"),
+        ]);
+        rows.push(vec![
+            lambdas.to_string(),
+            fa.cycles.to_string(),
+            format!("{s:.4}"),
+            format!("{pj:.5}"),
+        ]);
+    }
+    table.print();
+    write_csv("abl_wdm_width.csv", &["lambdas", "fa_cycles", "speedup_vs_mesh", "pj_per_mac"], &rows);
+    println!("\n  more compute wavelengths = more parallel MVMs per pass: both the");
+    println!("  streaming time and the per-MAC energy fall (Fig. 12c's mechanism).");
+}

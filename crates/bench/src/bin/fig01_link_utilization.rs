@@ -1,0 +1,51 @@
+//! Fig. 1 — link utilization and bandwidth sensitivity of a 16-node
+//! photonic network during Image Blur and VGG16-FC execution, at 16, 32
+//! and 64 wavelengths.
+
+use flumen::{run_utilization_trace, RuntimeConfig};
+use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_workloads::{Benchmark, ImageBlur, Vgg16Fc};
+
+fn main() {
+    let cfg = RuntimeConfig::paper();
+    let benches: Vec<Box<dyn Benchmark>> = if quick_mode() {
+        vec![Box::new(ImageBlur::small()), Box::new(Vgg16Fc::small())]
+    } else {
+        vec![Box::new(ImageBlur::paper()), Box::new(Vgg16Fc::paper())]
+    };
+
+    println!("Fig. 1: photonic link utilization during execution (16-node network)");
+    let mut summary = Table::new(&["bench", "lambdas", "avg_util", "peak_util", "cycles"]);
+    let mut trace_rows = Vec::new();
+    for bench in &benches {
+        for lambdas in [16usize, 32, 64] {
+            let r = run_utilization_trace(bench.as_ref(), lambdas, 500, &cfg);
+            let avg = if r.utilization_trace.is_empty() {
+                0.0
+            } else {
+                r.utilization_trace.iter().sum::<f64>() / r.utilization_trace.len() as f64
+            };
+            let peak = r.utilization_trace.iter().fold(0.0f64, |a, &b| a.max(b));
+            summary.row(vec![
+                bench.name().into(),
+                lambdas.to_string(),
+                format!("{:.1}%", avg * 100.0),
+                format!("{:.1}%", peak * 100.0),
+                r.cycles.to_string(),
+            ]);
+            for (i, u) in r.utilization_trace.iter().enumerate() {
+                trace_rows.push(vec![
+                    bench.name().to_string(),
+                    lambdas.to_string(),
+                    (i * 500).to_string(),
+                    format!("{u:.5}"),
+                ]);
+            }
+        }
+    }
+    summary.print();
+    write_csv("fig01_link_utilization.csv", &["bench", "lambdas", "cycle", "utilization"], &trace_rows);
+    println!("\n  paper: avg utilization 19.7%/7.5% at 16λ and 5.5%/1.9% at 64λ for");
+    println!("  Image Blur / VGG16 FC — low even when underprovisioned, leaving");
+    println!("  ample idle capacity for in-network computation.");
+}

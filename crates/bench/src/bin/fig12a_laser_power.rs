@@ -1,0 +1,38 @@
+//! Fig. 12a — laser power scaling sensitivity to MRR thru-port loss for
+//! the OptBus and Flumen MZIM topologies (16 nodes, 16/32/64 λ).
+
+use flumen::DeviceParams;
+use flumen_bench::{write_csv, Table};
+use flumen_photonics::loss;
+
+fn main() {
+    println!("Fig. 12a: laser power (mW/λ) vs MRR thru loss, 16-node NoP");
+    let mut table = Table::new(&["mrr_loss_db", "topology", "16λ", "32λ", "64λ"]);
+    let losses = [0.01, 0.02, 0.03, 0.04, 0.05, 0.1];
+    for &l in &losses {
+        let mut dev = DeviceParams::paper();
+        dev.mrr_thru_loss_db = l;
+        for (name, f) in [
+            ("optbus", loss::optbus_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64),
+            ("flumen", loss::flumen_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64),
+        ] {
+            table.row(vec![
+                format!("{l:.2}"),
+                name.into(),
+                format!("{:.4}", f(16, 16, &dev)),
+                format!("{:.4}", f(16, 32, &dev)),
+                format!("{:.4}", f(16, 64, &dev)),
+            ]);
+        }
+    }
+    table.print();
+    write_csv("fig12a_laser_power.csv", &table.csv_headers(), &table.csv_rows());
+
+    let dev = DeviceParams::paper();
+    let ob = loss::optbus_laser_power_mw(16, 32, &dev);
+    let fl = loss::flumen_laser_power_mw(16, 32, &dev);
+    println!("\n  operating point 32λ / 0.1 dB:");
+    println!("    optbus  {ob:8.2} mW   (paper: 32.3 mW)");
+    println!("    flumen  {:8.4} mW   (paper: 0.4296 mW)", fl);
+    println!("    reduction {:.1}x     (paper: 75x)", ob / fl);
+}

@@ -1,0 +1,76 @@
+//! Fig. 13 — energy consumption breakdown by component for each benchmark
+//! on Ring (R), Mesh (M), OptBus (OB), Flumen-I (F-I) and Flumen-A (F-A).
+
+use flumen_bench::{geomean, run_grid, write_csv, Table};
+use flumen::SystemTopology;
+
+fn main() {
+    println!("Fig. 13: energy breakdown (µJ) per benchmark × topology");
+    let grid = run_grid();
+
+    let mut table = Table::new(&[
+        "bench", "topo", "core", "l1i", "l1d", "l2", "l3", "dram", "nop", "mzim", "total",
+    ]);
+    let mut rows = Vec::new();
+    for r in &grid {
+        let e = &r.energy;
+        let uj = |x: f64| format!("{:.1}", x * 1e6);
+        table.row(vec![
+            r.benchmark.clone(),
+            r.topology.name().into(),
+            uj(e.core_j),
+            uj(e.l1i_j),
+            uj(e.l1d_j),
+            uj(e.l2_j),
+            uj(e.l3_j),
+            uj(e.dram_j),
+            uj(e.nop_j),
+            uj(e.mzim_j),
+            uj(e.total_j()),
+        ]);
+        rows.push(vec![
+            r.benchmark.clone(),
+            r.topology.name().into(),
+            format!("{:.6e}", e.core_j),
+            format!("{:.6e}", e.l1i_j),
+            format!("{:.6e}", e.l1d_j),
+            format!("{:.6e}", e.l2_j),
+            format!("{:.6e}", e.l3_j),
+            format!("{:.6e}", e.dram_j),
+            format!("{:.6e}", e.nop_j),
+            format!("{:.6e}", e.mzim_j),
+        ]);
+    }
+    table.print();
+    write_csv(
+        "fig13_energy_breakdown.csv",
+        &["bench", "topology", "core_j", "l1i_j", "l1d_j", "l2_j", "l3_j", "dram_j", "nop_j", "mzim_j"],
+        &rows,
+    );
+
+    // Headline: Flumen-A energy reduction vs Mesh and vs Flumen-I.
+    let benches: Vec<String> = {
+        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
+        b.dedup();
+        b
+    };
+    let mut vs_mesh = Vec::new();
+    let mut vs_fi = Vec::new();
+    println!("\n  Flumen-A energy reduction:");
+    for b in &benches {
+        let mesh = flumen_bench::grid_row(&grid, b, SystemTopology::Mesh).total_energy_j();
+        let fi = flumen_bench::grid_row(&grid, b, SystemTopology::FlumenI).total_energy_j();
+        let fa = flumen_bench::grid_row(&grid, b, SystemTopology::FlumenA).total_energy_j();
+        vs_mesh.push(mesh / fa);
+        vs_fi.push(fi / fa);
+        println!("    {b:16} vs mesh {:5.2}x   vs flumen-i {:5.2}x", mesh / fa, fi / fa);
+    }
+    println!(
+        "  geomean vs mesh: {:.2}x (paper: 2.5x; per-bench 1.5/1.9/2.9/2.6/4.8)",
+        geomean(&vs_mesh)
+    );
+    println!(
+        "  geomean vs flumen-i: {:.2}x (paper: 2.3x; per-bench 1.4/1.7/2.4/2.5/4.2)",
+        geomean(&vs_fi)
+    );
+}

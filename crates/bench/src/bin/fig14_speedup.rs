@@ -1,0 +1,45 @@
+//! Fig. 14 — speedup of Flumen-A over Ring, Mesh, OptBus and Flumen-I.
+
+use flumen::SystemTopology;
+use flumen_bench::{geomean, grid_row, run_grid, write_csv, Table};
+
+fn main() {
+    println!("Fig. 14: Flumen-A speedup per benchmark");
+    let grid = run_grid();
+    let benches: Vec<String> = {
+        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
+        b.dedup();
+        b
+    };
+
+    let baselines = [
+        SystemTopology::Ring,
+        SystemTopology::Mesh,
+        SystemTopology::OptBus,
+        SystemTopology::FlumenI,
+    ];
+    let mut table = Table::new(&["bench", "vs_ring", "vs_mesh", "vs_optbus", "vs_flumen_i"]);
+    let mut rows = Vec::new();
+    let mut vs_mesh = Vec::new();
+    for b in &benches {
+        let fa = grid_row(&grid, b, SystemTopology::FlumenA).cycles as f64;
+        let mut cells = vec![b.clone()];
+        let mut csv = vec![b.clone()];
+        for base in baselines {
+            let s = grid_row(&grid, b, base).cycles as f64 / fa;
+            if base == SystemTopology::Mesh {
+                vs_mesh.push(s);
+            }
+            cells.push(format!("{s:.2}x"));
+            csv.push(format!("{s:.4}"));
+        }
+        table.row(cells);
+        rows.push(csv);
+    }
+    table.print();
+    write_csv("fig14_speedup.csv", &["bench", "vs_ring", "vs_mesh", "vs_optbus", "vs_flumen_i"], &rows);
+    println!(
+        "\n  geomean vs mesh: {:.2}x (paper: 3.6x; per-bench 3.3/2.0/4.5/4.0/5.2)",
+        geomean(&vs_mesh)
+    );
+}

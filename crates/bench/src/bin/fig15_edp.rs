@@ -1,0 +1,39 @@
+//! Fig. 15 — energy-delay product across benchmarks and topologies.
+
+use flumen::SystemTopology;
+use flumen_bench::{geomean, grid_row, run_grid, write_csv, Table};
+
+fn main() {
+    println!("Fig. 15: energy-delay product (nJ·s)");
+    let grid = run_grid();
+    let benches: Vec<String> = {
+        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
+        b.dedup();
+        b
+    };
+
+    let mut table = Table::new(&["bench", "ring", "mesh", "optbus", "flumen_i", "flumen_a"]);
+    let mut rows = Vec::new();
+    let mut vs_mesh = Vec::new();
+    let mut vs_fi = Vec::new();
+    for b in &benches {
+        let edp = |t: SystemTopology| grid_row(&grid, b, t).edp();
+        let cells: Vec<f64> = SystemTopology::all().iter().map(|&t| edp(t)).collect();
+        vs_mesh.push(edp(SystemTopology::Mesh) / edp(SystemTopology::FlumenA));
+        vs_fi.push(edp(SystemTopology::FlumenI) / edp(SystemTopology::FlumenA));
+        let mut row = vec![b.clone()];
+        row.extend(cells.iter().map(|e| format!("{:.3}", e * 1e9)));
+        table.row(row.clone());
+        rows.push(row);
+    }
+    table.print();
+    write_csv("fig15_edp.csv", &["bench", "ring", "mesh", "optbus", "flumen_i", "flumen_a"], &rows);
+    println!(
+        "\n  Flumen-A EDP improvement geomean: vs mesh {:.2}x (paper: 9.3x; per-bench 5.1/3.9/13.0/10.5/25.2)",
+        geomean(&vs_mesh)
+    );
+    println!(
+        "                                    vs flumen-i {:.2}x (paper: 7.4x)",
+        geomean(&vs_fi)
+    );
+}

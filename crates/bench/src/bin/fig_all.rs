@@ -1,0 +1,44 @@
+//! Runs every figure/table experiment (E1–E14) in sequence and leaves the
+//! CSVs in `EXPERIMENTS-data/`. Pass `--quick` for a reduced smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins = [
+        "fig01_link_utilization",
+        "tab_area",
+        "tab_link_power",
+        "fig11_synthetic_traffic",
+        "tab_network_energy",
+        "fig12a_laser_power",
+        "fig12b_compute_energy",
+        "fig12c_mac_energy",
+        "fig13_energy_breakdown",
+        "fig14_speedup",
+        "fig15_edp",
+        "abl_scheduler_sensitivity",
+        "abl_reconfig_overhead",
+        "abl_decomposition",
+        "abl_thermal",
+        "abl_wdm_width",
+        "abl_batch_reuse",
+        "abl_equalization",
+        "abl_system_scale",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments complete; CSVs in EXPERIMENTS-data/");
+}

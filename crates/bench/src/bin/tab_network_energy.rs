@@ -1,0 +1,80 @@
+//! §5.2 — network energy across the synthetic benchmarks, relative to the
+//! electrical ring. The paper reports reductions of 77 % (Mesh), 35 %
+//! (OptBus) and 39 % (Flumen), improving to 72 % for an MZIM used purely
+//! for communication (no compute DAC/ADC overhead).
+
+use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_noc::harness::{measure_point, RunConfig};
+use flumen_noc::traffic::TrafficPattern;
+use flumen_noc::{MzimCrossbar, NetStats, Network, OpticalBus, RoutedNetwork};
+use flumen_power::{network_energy_j, EnergyParams, NopKind};
+
+fn main() {
+    let cfg = if quick_mode() {
+        RunConfig { warmup: 300, measure: 2_000, ..RunConfig::default() }
+    } else {
+        RunConfig::default()
+    };
+    // §5.2 accounts the *full network power envelope*: the loss-dominated
+    // OptBus laser (Fig. 12a at the evaluation's 0.1 dB MRR loss), MRR
+    // thermal tuning across all wavelengths, and Flumen's always-on
+    // compute DAC/ADC banks. This is deliberately different from the
+    // amortized per-application NoP slice of Fig. 13 (see EXPERIMENTS.md,
+    // E6) — the paper's two sections use different accountings too, or
+    // its 3.3 %-of-total NoP share could not coexist with OptBus burning
+    // 65 % of a ring's energy.
+    let params = EnergyParams {
+        optbus_static_w: 11.2,       // laser (loss-dominated) + 2 W tuning
+        mzim_comm_static_w: 4.4,     // laser + endpoint tuning + TIA/SerDes
+        flumen_dacadc_static_w: 7.4, // 16 endpoints × high-speed DAC/ADC banks
+        ..EnergyParams::paper_7nm()
+    };
+    let patterns = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Shuffle,
+    ];
+    let loads = [0.05, 0.1, 0.2, 0.3];
+
+    // Accumulate energy per topology over the pattern × load matrix.
+    let mut totals = [0.0f64; 5]; // ring, mesh, optbus, flumen, mzim-pure
+    for pattern in patterns {
+        for &load in &loads {
+            let seconds = (cfg.measure as f64) / 2.5e9;
+            let run = |net: &mut dyn Network| -> NetStats {
+                let _ = measure_point(net, pattern, load, &cfg);
+                net.stats().clone()
+            };
+            let mut ring = RoutedNetwork::ring_16();
+            totals[0] += network_energy_j(&run(&mut ring), seconds, NopKind::Ring, &params);
+            let mut mesh = RoutedNetwork::mesh_4x4();
+            totals[1] += network_energy_j(&run(&mut mesh), seconds, NopKind::Mesh, &params);
+            let mut bus = OpticalBus::optbus_16();
+            totals[2] += network_energy_j(&run(&mut bus), seconds, NopKind::OptBus, &params);
+            let mut xbar = MzimCrossbar::flumen_16();
+            let stats = run(&mut xbar);
+            totals[3] += network_energy_j(&stats, seconds, NopKind::FlumenComm, &params);
+            totals[4] += network_energy_j(&stats, seconds, NopKind::MzimCommOnly, &params);
+        }
+    }
+
+    println!("§5.2 network energy vs Ring (synthetic benchmark average)");
+    let names = ["ring", "mesh", "optbus", "flumen", "mzim_comm_only"];
+    let paper = ["0%", "77%", "35%", "39%", "72%"];
+    let mut table = Table::new(&["topology", "energy_uJ", "reduction_vs_ring", "paper"]);
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let red = 100.0 * (1.0 - totals[i] / totals[0]);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", totals[i] * 1e6),
+            format!("{red:.0}%"),
+            paper[i].to_string(),
+        ]);
+        rows.push(vec![name.to_string(), format!("{:.6e}", totals[i]), format!("{red:.1}")]);
+    }
+    table.print();
+    write_csv("tab_network_energy.csv", &["topology", "energy_j", "reduction_pct"], &rows);
+    println!("\n  qualitative checks: mesh ≪ ring; photonic options below ring;");
+    println!("  Flumen above pure MZIM (always-on compute DAC/ADC).");
+}

@@ -1,0 +1,160 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every `fig*`/`tab*`/`abl*` binary prints a human-readable table to
+//! stdout and writes a CSV under `EXPERIMENTS-data/` so the results can be
+//! plotted or diffed. `fig_all` runs the whole battery.
+
+use flumen::{run_benchmark, FullRunResult, RuntimeConfig, SystemTopology};
+use flumen_workloads::{paper_benchmarks, small_benchmarks, Benchmark};
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs land.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("FLUMEN_DATA_DIR").unwrap_or_else(|_| "EXPERIMENTS-data".into());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("create data dir");
+    p
+}
+
+/// Writes a CSV file (headers + rows) into the data directory.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut s = headers.join(",") + "\n";
+    for r in rows {
+        s.push_str(&r.join(","));
+        s.push('\n');
+    }
+    let path = out_dir().join(name);
+    fs::write(&path, s).expect("write csv");
+    println!("  → wrote {}", path.display());
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Whether `--quick` was passed (reduced benchmark sizes for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The benchmark set honouring `--quick`.
+pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
+    if quick_mode() {
+        small_benchmarks()
+    } else {
+        paper_benchmarks()
+    }
+}
+
+/// Runs the full benchmark × topology grid (the data behind Figs. 13–15).
+pub fn run_grid() -> Vec<FullRunResult> {
+    let cfg = RuntimeConfig::paper();
+    let mut rows = Vec::new();
+    for bench in benchmarks() {
+        for topo in SystemTopology::all() {
+            eprintln!("  running {} on {} …", bench.name(), topo.name());
+            rows.push(run_benchmark(bench.as_ref(), topo, &cfg));
+        }
+    }
+    rows
+}
+
+/// Looks up a grid row.
+pub fn grid_row<'a>(
+    grid: &'a [FullRunResult],
+    bench: &str,
+    topo: SystemTopology,
+) -> &'a FullRunResult {
+    grid.iter()
+        .find(|r| r.benchmark == bench && r.topology == topo)
+        .expect("grid row exists")
+}
+
+/// Pretty ratio formatting ("3.42x").
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Simple fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let line = |cells: &[String]| {
+            let s: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect();
+            println!("  {}", s.join("  "));
+        };
+        line(&self.headers);
+        for r in &self.rows {
+            line(r);
+        }
+    }
+
+    /// The rows as CSV-ready strings.
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        self.rows.clone()
+    }
+
+    /// The headers as &str slices for [`write_csv`].
+    pub fn csv_headers(&self) -> Vec<&str> {
+        self.headers.iter().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_formats() {
+        let mut t = Table::new(&["a", "bench"]);
+        t.row(vec!["1".into(), "x".into()]);
+        assert_eq!(t.csv_headers(), vec!["a", "bench"]);
+        assert_eq!(t.csv_rows().len(), 1);
+        t.print();
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(fmt_ratio(3.417), "3.42x");
+    }
+}

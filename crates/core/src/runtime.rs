@@ -1,0 +1,334 @@
+//! Full-system runtime: one call runs a benchmark on a topology and
+//! returns runtime, activity, network statistics and the energy breakdown
+//! — the data behind paper Figs. 13/14/15.
+
+use crate::control_unit::{ControlUnitParams, MzimControlUnit};
+use flumen_noc::{
+    CrossbarConfig, MzimCrossbar, NetStats, OpticalBus, RoutedNetwork,
+};
+use flumen_power::{system_energy, EnergyBreakdown, EnergyParams, NopKind};
+use flumen_system::{ActivityCounts, NullServer, SystemConfig, SystemSim};
+use flumen_workloads::taskgen::{self, ExecMode, TaskGenConfig};
+use flumen_workloads::Benchmark;
+
+/// The five evaluated system configurations (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemTopology {
+    /// Electrical ring NoP.
+    Ring,
+    /// Electrical mesh NoP.
+    Mesh,
+    /// Optical bus NoP.
+    OptBus,
+    /// Flumen fabric, communication only.
+    FlumenI,
+    /// Flumen fabric with compute acceleration.
+    FlumenA,
+}
+
+impl SystemTopology {
+    /// All five configurations in the paper's order.
+    pub fn all() -> [SystemTopology; 5] {
+        [
+            SystemTopology::Ring,
+            SystemTopology::Mesh,
+            SystemTopology::OptBus,
+            SystemTopology::FlumenI,
+            SystemTopology::FlumenA,
+        ]
+    }
+
+    /// Display name (paper Fig. 13 abbreviations).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemTopology::Ring => "ring",
+            SystemTopology::Mesh => "mesh",
+            SystemTopology::OptBus => "optbus",
+            SystemTopology::FlumenI => "flumen_i",
+            SystemTopology::FlumenA => "flumen_a",
+        }
+    }
+
+    /// The matching energy model.
+    pub fn nop_kind(&self) -> NopKind {
+        match self {
+            SystemTopology::Ring => NopKind::Ring,
+            SystemTopology::Mesh => NopKind::Mesh,
+            SystemTopology::OptBus => NopKind::OptBus,
+            SystemTopology::FlumenI => NopKind::FlumenComm,
+            SystemTopology::FlumenA => NopKind::FlumenAccel,
+        }
+    }
+}
+
+/// End-to-end runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// System (cores/caches) parameters.
+    pub system: SystemConfig,
+    /// Task-generation tuning.
+    pub taskgen: TaskGenConfig,
+    /// MZIM control unit parameters (Flumen-A).
+    pub control: ControlUnitParams,
+    /// Energy model parameters.
+    pub energy: EnergyParams,
+    /// Simulation cycle budget.
+    pub max_cycles: u64,
+    /// Link-utilization sampling window (0 = off).
+    pub trace_interval: u64,
+}
+
+/// The most-square factorization of `n` for a mesh layout.
+///
+/// # Panics
+///
+/// Panics when `n` has no `≥2 × ≥2` factorization (e.g. primes).
+fn mesh_dims(n: usize) -> (usize, usize) {
+    let mut w = (n as f64).sqrt() as usize;
+    while w >= 2 {
+        if n % w == 0 && n / w >= 2 {
+            return (w, n / w);
+        }
+        w -= 1;
+    }
+    panic!("{n} chiplets cannot form a ≥2×2 mesh");
+}
+
+impl RuntimeConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        RuntimeConfig {
+            system: SystemConfig::paper(),
+            taskgen: TaskGenConfig::default(),
+            control: ControlUnitParams::paper(),
+            energy: EnergyParams::paper_7nm(),
+            max_cycles: 80_000_000,
+            trace_interval: 0,
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::paper()
+    }
+}
+
+/// Result of one benchmark × topology run.
+#[derive(Debug, Clone)]
+pub struct FullRunResult {
+    /// Which topology ran.
+    pub topology: SystemTopology,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Runtime in core cycles.
+    pub cycles: u64,
+    /// Runtime in seconds.
+    pub seconds: f64,
+    /// Activity counters.
+    pub counts: ActivityCounts,
+    /// Network statistics.
+    pub net_stats: NetStats,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Link-utilization trace (when enabled).
+    pub utilization_trace: Vec<f64>,
+}
+
+impl FullRunResult {
+    /// Total energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Energy-delay product, J·s.
+    pub fn edp(&self) -> f64 {
+        self.energy.edp(self.seconds)
+    }
+
+    /// Mean packet latency over the run, cycles.
+    pub fn avg_packet_latency(&self) -> Option<f64> {
+        self.net_stats.avg_latency()
+    }
+}
+
+/// Runs `bench` on `topology`.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds `cfg.max_cycles` without finishing
+/// (indicates a deadlock or an undersized cycle budget).
+pub fn run_benchmark(
+    bench: &dyn Benchmark,
+    topology: SystemTopology,
+    cfg: &RuntimeConfig,
+) -> FullRunResult {
+    let mode = match topology {
+        SystemTopology::FlumenA => ExecMode::Offload,
+        _ => ExecMode::Local,
+    };
+    let tasks = taskgen::generate(bench, &cfg.system, mode, &cfg.taskgen);
+
+    let chiplets = cfg.system.chiplets;
+    let (cycles, counts, net_stats, trace) = match topology {
+        SystemTopology::Ring => run_sim(
+            RoutedNetwork::new(
+                flumen_noc::RoutedTopology::Ring { nodes: chiplets },
+                flumen_noc::RoutedConfig::default(),
+            )
+            .expect("ring of ≥3 chiplets"),
+            cfg,
+            tasks,
+        ),
+        SystemTopology::Mesh => {
+            let (w, h) = mesh_dims(chiplets);
+            run_sim(
+                RoutedNetwork::new(
+                    flumen_noc::RoutedTopology::Mesh { width: w, height: h },
+                    flumen_noc::RoutedConfig::default(),
+                )
+                .expect("mesh of ≥2×2 chiplets"),
+                cfg,
+                tasks,
+            )
+        }
+        SystemTopology::OptBus => run_sim(
+            OpticalBus::new(chiplets, flumen_noc::BusConfig::default()).expect("optbus"),
+            cfg,
+            tasks,
+        ),
+        SystemTopology::FlumenI => run_sim(
+            MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar"),
+            cfg,
+            tasks,
+        ),
+        SystemTopology::FlumenA => {
+            let net = MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar");
+            let server = MzimControlUnit::new(cfg.control.clone());
+            let mut sim = SystemSim::new(cfg.system.clone(), net, server, tasks);
+            sim.set_trace_interval(cfg.trace_interval);
+            let r = sim.run(cfg.max_cycles);
+            assert!(
+                r.cycles < cfg.max_cycles,
+                "simulation did not finish within the cycle budget"
+            );
+            (r.cycles, r.counts, r.net_stats, r.utilization_trace)
+        }
+    };
+
+    let seconds = cfg.system.cycles_to_seconds(cycles);
+    let energy = system_energy(
+        &counts,
+        &net_stats,
+        seconds,
+        cfg.system.cores,
+        topology.nop_kind(),
+        &cfg.energy,
+    );
+    FullRunResult {
+        topology,
+        benchmark: bench.name().to_string(),
+        cycles,
+        seconds,
+        counts,
+        net_stats,
+        energy,
+        utilization_trace: trace,
+    }
+}
+
+fn run_sim<N: flumen_noc::Network>(
+    net: N,
+    cfg: &RuntimeConfig,
+    tasks: Vec<Vec<flumen_system::CoreTask>>,
+) -> (u64, ActivityCounts, NetStats, Vec<f64>) {
+    let mut sim = SystemSim::new(cfg.system.clone(), net, NullServer::default(), tasks);
+    sim.set_trace_interval(cfg.trace_interval);
+    let r = sim.run(cfg.max_cycles);
+    assert!(r.cycles < cfg.max_cycles, "simulation did not finish within the cycle budget");
+    (r.cycles, r.counts, r.net_stats, r.utilization_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flumen_workloads::Rotation3d;
+
+    #[test]
+    fn topology_names_and_kinds_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            SystemTopology::all().iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(SystemTopology::FlumenA.nop_kind(), NopKind::FlumenAccel);
+        assert_eq!(SystemTopology::Mesh.nop_kind(), NopKind::Mesh);
+    }
+
+    #[test]
+    fn paper_config_is_consistent() {
+        let cfg = RuntimeConfig::paper();
+        assert_eq!(cfg.system.chiplets, 16);
+        assert_eq!(cfg.control.fabric_n * cfg.control.chiplets_per_wire, cfg.system.chiplets);
+        assert!(cfg.max_cycles > 1_000_000);
+    }
+
+    #[test]
+    fn result_accessors_are_consistent() {
+        let cfg = RuntimeConfig { max_cycles: 10_000_000, ..RuntimeConfig::paper() };
+        let r = run_benchmark(&Rotation3d::small(), SystemTopology::Mesh, &cfg);
+        assert!((r.edp() - r.total_energy_j() * r.seconds).abs() < 1e-18);
+        assert!((r.seconds - r.cycles as f64 / 2.5e9).abs() < 1e-15);
+        assert_eq!(r.topology, SystemTopology::Mesh);
+        assert_eq!(r.benchmark, "rotation_3d");
+    }
+
+    #[test]
+    fn trace_interval_controls_sampling() {
+        let mut cfg = RuntimeConfig { max_cycles: 10_000_000, ..RuntimeConfig::paper() };
+        cfg.trace_interval = 0;
+        let r0 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
+        assert!(r0.utilization_trace.is_empty());
+        cfg.trace_interval = 100;
+        let r1 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
+        assert!(!r1.utilization_trace.is_empty());
+    }
+}
+
+/// Runs a benchmark on a photonic crossbar with a reduced wavelength count
+/// (Fig. 1's bandwidth sensitivity: 16/32/64 λ ↔ 64/128/256 bits/cycle),
+/// recording the link-utilization trace.
+pub fn run_utilization_trace(
+    bench: &dyn Benchmark,
+    lambdas: usize,
+    trace_interval: u64,
+    cfg: &RuntimeConfig,
+) -> FullRunResult {
+    let bits_per_cycle = (lambdas * 4) as u32; // 10 Gbps/λ at 2.5 GHz
+    let net = MzimCrossbar::new(
+        cfg.system.chiplets,
+        CrossbarConfig { bits_per_cycle, ..CrossbarConfig::default() },
+    )
+    .expect("16-node crossbar");
+    let tasks = taskgen::generate(bench, &cfg.system, ExecMode::Local, &cfg.taskgen);
+    let mut sim = SystemSim::new(cfg.system.clone(), net, NullServer::default(), tasks);
+    sim.set_trace_interval(trace_interval);
+    let r = sim.run(cfg.max_cycles);
+    let seconds = cfg.system.cycles_to_seconds(r.cycles);
+    let energy = system_energy(
+        &r.counts,
+        &r.net_stats,
+        seconds,
+        cfg.system.cores,
+        NopKind::FlumenComm,
+        &cfg.energy,
+    );
+    FullRunResult {
+        topology: SystemTopology::FlumenI,
+        benchmark: bench.name().to_string(),
+        cycles: r.cycles,
+        seconds,
+        counts: r.counts,
+        net_stats: r.net_stats,
+        energy,
+        utilization_trace: r.utilization_trace,
+    }
+}

@@ -1,0 +1,359 @@
+//! Double-precision complex numbers.
+//!
+//! The photonic transfer-matrix math in [`flumen-photonics`] operates on
+//! optical E-fields, which are inherently complex-valued. This module provides
+//! a small, dependency-free complex type, [`C64`], with the handful of
+//! operations the simulator needs (arithmetic, conjugation, polar forms).
+//!
+//! [`flumen-photonics`]: https://example.com/flumen
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use flumen_linalg::C64;
+///
+/// let a = C64::new(1.0, 2.0);
+/// let b = C64::new(3.0, -1.0);
+/// assert_eq!(a + b, C64::new(4.0, 1.0));
+/// assert_eq!(a * C64::I, C64::new(-2.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flumen_linalg::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - C64::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-magnitude phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate `re - i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// The magnitude `|z| = sqrt(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The squared magnitude `|z|²`.
+    ///
+    /// Optical power is proportional to `|E|²`, so this is the hot path in
+    /// readout code; it avoids the square root of [`C64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// The principal square root.
+    pub fn sqrt(self) -> Self {
+        C64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` on both parts.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::from_re(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    // Division by a complex number *is* multiplication by its inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(C64::ZERO, C64::new(0.0, 0.0));
+        assert_eq!(C64::ONE, C64::new(1.0, 0.0));
+        assert_eq!(C64::I, C64::new(0.0, 1.0));
+        assert_eq!(C64::from_re(2.5), C64::new(2.5, 0.0));
+        assert_eq!(C64::from(3.0), C64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(2.0, -3.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!(z - z, C64::ZERO);
+        assert!((z * z.inv() - C64::ONE).abs() < 1e-14);
+        assert_eq!(-z, C64::new(-2.0, 3.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(((z * z.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn division() {
+        let a = C64::new(1.0, 1.0);
+        let b = C64::new(0.0, 1.0);
+        let q = a / b;
+        assert!(q.approx_eq(C64::new(1.0, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-1.0, 0.5);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let z = C64::new(1.0, -2.0);
+        assert_eq!(z * 2.0, C64::new(2.0, -4.0));
+        assert_eq!(2.0 * z, C64::new(2.0, -4.0));
+        assert_eq!(z / 2.0, C64::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::new(1.0, 1.0);
+        z += C64::ONE;
+        assert_eq!(z, C64::new(2.0, 1.0));
+        z -= C64::I;
+        assert_eq!(z, C64::new(2.0, 0.0));
+        z *= C64::I;
+        assert_eq!(z, C64::new(0.0, 2.0));
+        z /= C64::new(0.0, 2.0);
+        assert!(z.approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, C64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", C64::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the linear-algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// A convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A buffer or matrix shape did not match the expected size.
+    DimensionMismatch {
+        /// Number of elements expected.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// An index list was not a valid permutation of `0..n`.
+    NotAPermutation,
+    /// An iterative routine (SVD, decomposition) failed to converge.
+    NoConvergence {
+        /// The iteration/sweep budget that was exhausted.
+        sweeps: usize,
+    },
+    /// A matrix expected to be unitary was not (within tolerance).
+    NotUnitary {
+        /// Measured deviation `‖A*A − I‖_max`.
+        deviation_milli: u64,
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+            }
+            LinalgError::NotAPermutation => write!(f, "index list is not a permutation"),
+            LinalgError::NoConvergence { sweeps } => {
+                write!(f, "iteration did not converge within {sweeps} sweeps")
+            }
+            LinalgError::NotUnitary { deviation_milli } => write!(
+                f,
+                "matrix is not unitary (max deviation {:.3})",
+                *deviation_milli as f64 / 1000.0
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}×{cols})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<LinalgError> = vec![
+            LinalgError::DimensionMismatch { expected: 4, actual: 3 },
+            LinalgError::NotAPermutation,
+            LinalgError::NoConvergence { sweeps: 60 },
+            LinalgError::NotUnitary { deviation_milli: 120 },
+            LinalgError::NotSquare { rows: 2, cols: 3 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Complex Householder QR decomposition and Haar-random unitaries.
+//!
+//! Random unitaries drawn from the Haar measure are the standard stress input
+//! for MZIM phase-programming algorithms (Clements et al., Optica 2016); the
+//! canonical construction is `QR` of a complex Ginibre matrix with the `R`
+//! diagonal phases folded into `Q`.
+
+use crate::{C64, CMat};
+use rand::Rng;
+
+/// The result of a QR decomposition: `A = Q · R` with `Q` unitary and `R`
+/// upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// The unitary factor (square, `m×m`).
+    pub q: CMat,
+    /// The upper-triangular factor (`m×n`).
+    pub r: CMat,
+}
+
+/// Computes the QR decomposition of a complex matrix via Householder
+/// reflections.
+///
+/// # Examples
+///
+/// ```
+/// use flumen_linalg::{qr, C64, CMat};
+/// let a = CMat::from_fn(3, 3, |r, c| C64::new((r + c) as f64, (r * c) as f64));
+/// let f = qr(&a);
+/// assert!(f.q.is_unitary(1e-10));
+/// assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-10));
+/// ```
+pub fn qr(a: &CMat) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = CMat::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector v for column k, rows k..m.
+        let mut v: Vec<C64> = (k..m).map(|i| r[(i, k)]).collect();
+        let norm_x: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm_x < 1e-300 {
+            continue;
+        }
+        // alpha = -e^{i arg(x0)} * |x|
+        let x0 = v[0];
+        let phase = if x0.abs() < 1e-300 { C64::ONE } else { x0 / x0.abs() };
+        let alpha = -phase * norm_x;
+        v[0] = x0 - alpha;
+        let vnorm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sq < 1e-300 {
+            continue;
+        }
+
+        // Apply H = I - 2 v v* / (v* v) to R (rows k..m) and accumulate into Q.
+        for c in k..n {
+            let mut dot = C64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi.conj() * r[(k + i, c)];
+            }
+            let s = dot * (2.0 / vnorm_sq);
+            for (i, vi) in v.iter().enumerate() {
+                let cur = r[(k + i, c)];
+                r[(k + i, c)] = cur - *vi * s;
+            }
+        }
+        // Q <- Q H  (H is Hermitian), so columns of Q are updated.
+        for row in 0..m {
+            let mut dot = C64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot += q[(row, k + i)] * *vi;
+            }
+            let s = dot * (2.0 / vnorm_sq);
+            for (i, vi) in v.iter().enumerate() {
+                let cur = q[(row, k + i)];
+                q[(row, k + i)] = cur - s * vi.conj();
+            }
+        }
+    }
+
+    // Zero the strict lower triangle of R against round-off.
+    for rr in 1..m {
+        for cc in 0..rr.min(n) {
+            r[(rr, cc)] = C64::ZERO;
+        }
+    }
+    Qr { q, r }
+}
+
+/// Draws an `n×n` unitary from the Haar measure.
+///
+/// The construction samples a complex Ginibre matrix (i.i.d. standard normal
+/// real/imaginary parts), takes its QR decomposition, and normalizes the `R`
+/// diagonal phases into `Q` so that the distribution is exactly Haar.
+///
+/// # Examples
+///
+/// ```
+/// use flumen_linalg::random_unitary;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
+    let a = CMat::from_fn(n, n, |_, _| C64::new(gaussian(rng), gaussian(rng)));
+    let f = qr(&a);
+    // Fold R's diagonal phases into Q: Q' = Q · diag(r_ii / |r_ii|).
+    let mut u = f.q;
+    for j in 0..n {
+        let d = f.r[(j, j)];
+        let ph = if d.abs() < 1e-300 { C64::ONE } else { d / d.abs() };
+        for i in 0..n {
+            let cur = u[(i, j)];
+            u[(i, j)] = cur * ph;
+        }
+    }
+    u
+}
+
+/// Draws an `n×n` real orthogonal matrix (Haar over O(n)) — useful for
+/// testing the real-SVD path.
+pub fn random_orthogonal<R: Rng + ?Sized>(n: usize, rng: &mut R) -> crate::RMat {
+    let a = CMat::from_fn(n, n, |_, _| C64::from_re(gaussian(rng)));
+    let f = qr(&a);
+    let mut u = f.q;
+    for j in 0..n {
+        let d = f.r[(j, j)];
+        let s = if d.re < 0.0 { -1.0 } else { 1.0 };
+        for i in 0..n {
+            let cur = u[(i, j)];
+            u[(i, j)] = cur * s;
+        }
+    }
+    crate::RMat::from_cmat_re(&u)
+}
+
+/// Standard normal sample via Box-Muller (avoids a rand_distr dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 5, 8] {
+            let a = CMat::from_fn(n, n, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+            let f = qr(&a);
+            assert!(f.q.is_unitary(1e-9), "Q not unitary for n={n}");
+            assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9), "QR != A for n={n}");
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = CMat::from_fn(6, 3, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+        let f = qr(&a);
+        assert!(f.q.is_unitary(1e-9));
+        assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = CMat::from_fn(5, 5, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+        let f = qr(&a);
+        for r in 1..5 {
+            for c in 0..r {
+                assert_eq!(f.r[(r, c)], C64::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn random_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [2usize, 4, 8, 16] {
+            let u = random_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = random_orthogonal(6, &mut rng);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.approx_eq(&crate::RMat::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let f = qr(&CMat::identity(4));
+        assert!(f.q.matmul(&f.r).approx_eq(&CMat::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient() {
+        // Two identical columns.
+        let a = CMat::from_fn(3, 3, |r, c| {
+            if c < 2 { C64::from_re(r as f64 + 1.0) } else { C64::from_re(1.0) }
+        });
+        let f = qr(&a);
+        assert!(f.q.is_unitary(1e-9));
+        assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9));
+    }
+}

@@ -1,0 +1,397 @@
+//! The Flumen MZIM interconnect as a network (paper Fig. 10d).
+//!
+//! Once an optical signal enters the mesh it propagates unimpeded to the
+//! photodetector, so at the network level the fabric behaves like a
+//! **non-blocking crossbar** with a centralized wavefront arbiter (the MZIM
+//! control unit, paper §3.4). Establishing a new input→output connection
+//! reprograms MZI phases, which costs about 1 ns ≈ 3 core cycles; holding an
+//! existing connection costs nothing. Multicast is physical: one input
+//! splits to many outputs in a single transmission.
+//!
+//! Wire ranges can be *reserved* for compute partitions
+//! ([`MzimCrossbar::reserve_wires`]): reserved endpoints neither send nor
+//! receive, which is exactly the network-side effect of Algorithm 1 carving
+//! a compute partition out of the fabric.
+
+use crate::packet::{Delivery, Packet};
+use crate::stats::NetStats;
+use crate::wavefront::WavefrontArbiter;
+use crate::{Network, NocError, Result};
+use std::collections::VecDeque;
+
+/// Tuning parameters for the MZIM crossbar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarConfig {
+    /// Per-endpoint bandwidth, bits per core cycle (64 λ × 10 Gbps at
+    /// 2.5 GHz = 256 bits/cycle).
+    pub bits_per_cycle: u32,
+    /// Phase-programming time for a new connection, cycles
+    /// (1 ns ≈ 3 cycles at 2.5 GHz, Table 2 / §4.1).
+    pub reconfig_cycles: u64,
+    /// E/O + time-of-flight + O/E latency, cycles.
+    pub port_latency: u64,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig { bits_per_cycle: 256, reconfig_cycles: 3, port_latency: 2 }
+    }
+}
+
+/// The Flumen MZIM fabric viewed as a non-blocking crossbar network.
+#[derive(Debug)]
+pub struct MzimCrossbar {
+    nodes: usize,
+    cfg: CrossbarConfig,
+    /// Virtual output queues: `voq[i][j]` holds input `i`'s packets for
+    /// output `j` (eliminates head-of-line blocking, as in the control
+    /// unit's per-endpoint request buffers).
+    voq: Vec<Vec<VecDeque<Packet>>>,
+    /// Multicast packets queue separately per input and are served first.
+    mcast_queues: Vec<VecDeque<Packet>>,
+    arb: WavefrontArbiter,
+    in_busy_until: Vec<u64>,
+    out_busy_until: Vec<u64>,
+    /// Last output each input was connected to (for reconfig charging).
+    last_config: Vec<Option<usize>>,
+    /// Wires reserved for compute partitions.
+    reserved: Vec<bool>,
+    in_flight: Vec<(u64, Packet)>,
+    cycle: u64,
+    stats: NetStats,
+}
+
+impl MzimCrossbar {
+    /// Builds an `n`-endpoint MZIM crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidTopology`] for fewer than 2 endpoints.
+    pub fn new(nodes: usize, cfg: CrossbarConfig) -> Result<Self> {
+        if nodes < 2 {
+            return Err(NocError::InvalidTopology { reason: "crossbar needs ≥ 2 nodes".into() });
+        }
+        Ok(MzimCrossbar {
+            nodes,
+            cfg,
+            voq: (0..nodes).map(|_| (0..nodes).map(|_| VecDeque::new()).collect()).collect(),
+            mcast_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            arb: WavefrontArbiter::new(nodes),
+            in_busy_until: vec![0; nodes],
+            out_busy_until: vec![0; nodes],
+            last_config: vec![None; nodes],
+            reserved: vec![false; nodes],
+            in_flight: Vec::new(),
+            cycle: 0,
+            stats: NetStats::new(nodes),
+        })
+    }
+
+    /// The 16-endpoint, 64-λ configuration from the paper.
+    pub fn flumen_16() -> Self {
+        MzimCrossbar::new(16, CrossbarConfig::default()).expect("16-node crossbar is valid")
+    }
+
+    /// Reserves endpoints for a compute partition: they stop sending and
+    /// receiving until released. Traffic already queued stays queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNode`] for out-of-range wires.
+    pub fn reserve_wires(&mut self, wires: &[usize]) -> Result<()> {
+        for &w in wires {
+            if w >= self.nodes {
+                return Err(NocError::InvalidNode { node: w, nodes: self.nodes });
+            }
+        }
+        for &w in wires {
+            self.reserved[w] = true;
+        }
+        Ok(())
+    }
+
+    /// Releases previously reserved endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNode`] for out-of-range wires.
+    pub fn release_wires(&mut self, wires: &[usize]) -> Result<()> {
+        for &w in wires {
+            if w >= self.nodes {
+                return Err(NocError::InvalidNode { node: w, nodes: self.nodes });
+            }
+        }
+        for &w in wires {
+            self.reserved[w] = false;
+        }
+        Ok(())
+    }
+
+    /// Which endpoints are currently reserved for compute.
+    pub fn reserved_wires(&self) -> Vec<usize> {
+        (0..self.nodes).filter(|&w| self.reserved[w]).collect()
+    }
+
+    /// Request-buffer occupancies per input — the MZIM control unit's
+    /// buffer state used for the β utilization estimate (Algorithm 1).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        (0..self.nodes)
+            .map(|i| {
+                self.voq[i].iter().map(VecDeque::len).sum::<usize>() + self.mcast_queues[i].len()
+            })
+            .collect()
+    }
+
+    /// Starts transmitting a packet from input `input` (already dequeued).
+    fn start(&mut self, input: usize, pkt: Packet, now: u64) {
+        let dests = pkt.dests();
+        let ser = pkt.ser_cycles(self.cfg.bits_per_cycle);
+        // Reconfiguration charge: new unicast path, or any multicast tree.
+        let reconf = if dests.len() == 1 && self.last_config[input] == Some(dests[0]) {
+            0
+        } else {
+            self.stats.reconfigurations += 1;
+            self.cfg.reconfig_cycles
+        };
+        self.last_config[input] = if dests.len() == 1 { Some(dests[0]) } else { None };
+        let busy = now + reconf + ser;
+        self.in_busy_until[input] = busy;
+        for &d in &dests {
+            self.out_busy_until[d] = busy;
+        }
+        self.stats.link_busy[input] += reconf + ser;
+        self.stats.bit_hops += pkt.bits as u64;
+        self.in_flight.push((busy + self.cfg.port_latency, pkt));
+    }
+}
+
+impl Network for MzimCrossbar {
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn inject(&mut self, pkt: Packet) {
+        self.stats.injected += 1;
+        self.stats.bits_injected += pkt.bits as u64;
+        if pkt.is_multicast() {
+            self.mcast_queues[pkt.src].push_back(pkt);
+        } else {
+            let (src, dst) = (pkt.src, pkt.dst);
+            self.voq[src][dst].push_back(pkt);
+        }
+    }
+
+    fn step(&mut self) -> Vec<Delivery> {
+        let now = self.cycle;
+        // Multicast heads first (they need several outputs at once).
+        for i in 0..self.nodes {
+            if self.reserved[i] || self.in_busy_until[i] > now {
+                continue;
+            }
+            let ready = self.mcast_queues[i].front().is_some_and(|p| {
+                !p.dests()
+                    .iter()
+                    .any(|&d| self.out_busy_until[d] > now || self.reserved[d])
+            });
+            if ready {
+                let pkt = self.mcast_queues[i].pop_front().expect("head exists");
+                self.start(i, pkt, now);
+            }
+        }
+        // Unicast VOQs via the wavefront arbiter: each input requests every
+        // output it has traffic for.
+        let requests: Vec<Vec<usize>> = (0..self.nodes)
+            .map(|i| {
+                if self.reserved[i] || self.in_busy_until[i] > now {
+                    return Vec::new();
+                }
+                (0..self.nodes)
+                    .filter(|&j| !self.voq[i][j].is_empty() && !self.reserved[j])
+                    .collect()
+            })
+            .collect();
+        let row_busy: Vec<bool> = (0..self.nodes)
+            .map(|i| self.in_busy_until[i] > now || self.reserved[i])
+            .collect();
+        let col_busy: Vec<bool> = (0..self.nodes)
+            .map(|o| self.out_busy_until[o] > now || self.reserved[o])
+            .collect();
+        let grants = self.arb.arbitrate(&requests, &row_busy, &col_busy);
+        for (i, g) in grants.iter().enumerate() {
+            if let Some(j) = g {
+                if let Some(pkt) = self.voq[i][*j].pop_front() {
+                    self.start(i, pkt, now);
+                }
+            }
+        }
+        // Deliveries.
+        let mut deliveries = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                let (_, pkt) = self.in_flight.swap_remove(i);
+                for d in pkt.dests() {
+                    let lat = now.saturating_sub(pkt.created_at);
+                    self.stats.record_latency(lat);
+                    let mut p = pkt.clone();
+                    p.dst = d;
+                    p.extra_dests.clear();
+                    deliveries.push(Delivery { packet: p, at: now });
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        deliveries
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    fn pending(&self) -> usize {
+        self.queue_depths().iter().sum::<usize>() + self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(net: &mut MzimCrossbar, cycles: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            out.extend(net.step());
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_point_to_point() {
+        let mut net = MzimCrossbar::flumen_16();
+        net.inject(Packet::new(1, 2, 9, 512, 0));
+        let got = drain(&mut net, 50);
+        assert_eq!(got.len(), 1);
+        // reconfig 3 + ser 2 + port 2 = 7 cycles.
+        assert!(got[0].latency() <= 8, "{}", got[0].latency());
+    }
+
+    #[test]
+    fn non_blocking_parallel_transfers() {
+        let mut net = MzimCrossbar::flumen_16();
+        // A full permutation: all 16 transfers complete in one round.
+        for s in 0..16 {
+            net.inject(Packet::new(s as u64, s, (s + 5) % 16, 512, 0));
+        }
+        let got = drain(&mut net, 20);
+        assert_eq!(got.len(), 16);
+        let max_at = got.iter().map(|d| d.at).max().unwrap();
+        assert!(max_at <= 10, "all transfers should overlap, last at {max_at}");
+    }
+
+    #[test]
+    fn repeated_path_skips_reconfiguration() {
+        let mut net = MzimCrossbar::flumen_16();
+        net.inject(Packet::new(1, 0, 5, 512, 0));
+        drain(&mut net, 20);
+        let reconf_after_first = net.stats().reconfigurations;
+        net.inject(Packet::new(2, 0, 5, 512, net.cycle()));
+        drain(&mut net, 20);
+        assert_eq!(net.stats().reconfigurations, reconf_after_first);
+        // A different destination forces a reconfiguration.
+        net.inject(Packet::new(3, 0, 6, 512, net.cycle()));
+        drain(&mut net, 20);
+        assert_eq!(net.stats().reconfigurations, reconf_after_first + 1);
+    }
+
+    #[test]
+    fn physical_multicast_counts_one_transmission() {
+        let mut net = MzimCrossbar::flumen_16();
+        net.inject(Packet::multicast(1, 0, &[3, 7, 11, 15], 512, 0));
+        let got = drain(&mut net, 30);
+        assert_eq!(got.len(), 4);
+        assert_eq!(net.stats().bit_hops, 512);
+        assert_eq!(net.stats().injected, 1);
+    }
+
+    #[test]
+    fn output_contention_serializes() {
+        let mut net = MzimCrossbar::flumen_16();
+        for s in 0..4 {
+            net.inject(Packet::new(s as u64, s, 9, 512, 0));
+        }
+        let got = drain(&mut net, 100);
+        assert_eq!(got.len(), 4);
+        let mut ats: Vec<u64> = got.iter().map(|d| d.at).collect();
+        ats.sort_unstable();
+        // Each needs reconfig(3)+ser(2): arrivals separated by ≥ 5 cycles.
+        for w in ats.windows(2) {
+            assert!(w[1] - w[0] >= 5, "{ats:?}");
+        }
+    }
+
+    #[test]
+    fn reserved_wires_block_traffic() {
+        let mut net = MzimCrossbar::flumen_16();
+        net.reserve_wires(&[8, 9, 10, 11]).unwrap();
+        net.inject(Packet::new(1, 8, 0, 512, 0)); // reserved source
+        net.inject(Packet::new(2, 0, 9, 512, 0)); // reserved destination
+        net.inject(Packet::new(3, 1, 2, 512, 0)); // unaffected
+        let got = drain(&mut net, 50);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].packet.id, 3);
+        // Release and the stuck packets flow.
+        net.release_wires(&[8, 9, 10, 11]).unwrap();
+        let got2 = drain(&mut net, 50);
+        assert_eq!(got2.len(), 2);
+    }
+
+    #[test]
+    fn reserve_validates_range() {
+        let mut net = MzimCrossbar::flumen_16();
+        assert!(net.reserve_wires(&[99]).is_err());
+        assert!(net.release_wires(&[99]).is_err());
+    }
+
+    #[test]
+    fn queue_depths_reflect_backlog() {
+        let mut net = MzimCrossbar::flumen_16();
+        for k in 0..5 {
+            net.inject(Packet::new(k, 3, 4, 512, 0));
+        }
+        assert_eq!(net.queue_depths()[3], 5);
+        drain(&mut net, 100);
+        assert_eq!(net.queue_depths()[3], 0);
+    }
+
+    #[test]
+    fn sustains_high_uniform_load() {
+        use crate::traffic::{BernoulliInjector, TrafficPattern};
+        use rand::SeedableRng;
+        let mut net = MzimCrossbar::flumen_16();
+        // 1024-bit packets amortize the 3-cycle reconfiguration; offered
+        // 0.3 of link bandwidth is well below the ~0.55 saturation point.
+        let mut inj = BernoulliInjector::new(0.3, 1024, 256, TrafficPattern::UniformRandom);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for c in 0..5000u64 {
+            for p in inj.generate(16, c, &mut rng) {
+                net.inject(p);
+            }
+            net.step();
+        }
+        // Below saturation the backlog stays bounded.
+        assert!(net.pending() < 200, "pending {}", net.pending());
+        let avg = net.stats().avg_latency().unwrap();
+        assert!(avg < 60.0, "avg latency {avg}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the NoC simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// A convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, NocError>;
+
+/// Errors produced by network construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A node index was out of range.
+    InvalidNode {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// The requested topology shape is unsupported.
+    InvalidTopology {
+        /// Human-readable requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidNode { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node network")
+            }
+            NocError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!NocError::InvalidNode { node: 9, nodes: 4 }.to_string().is_empty());
+        assert!(!NocError::InvalidTopology { reason: "x".into() }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Measurement harness: warmup / measurement phases, latency-vs-load
+//! sweeps and saturation detection (regenerates paper Fig. 11).
+
+use crate::traffic::{BernoulliInjector, TrafficPattern};
+use crate::{Network, Packet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured operating point of a latency-load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyPoint {
+    /// Offered load, fraction of per-node link bandwidth.
+    pub offered_load: f64,
+    /// Mean packet latency in cycles (`f64::INFINITY` when saturated and
+    /// nothing representative was delivered).
+    pub avg_latency: f64,
+    /// Delivered throughput, packets/node/cycle.
+    pub throughput: f64,
+    /// Mean link utilization in `[0, 1]`.
+    pub link_utilization: f64,
+    /// Whether the network failed to keep up with the offered load.
+    pub saturated: bool,
+}
+
+/// Parameters for a measurement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Warmup cycles excluded from statistics.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Packet size in bits.
+    pub packet_bits: u32,
+    /// Link bandwidth used to express load (bits/cycle).
+    pub link_bits_per_cycle: u32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup: 2_000,
+            measure: 10_000,
+            // Multi-flit packets, as in typical Booksim evaluations; they
+            // also amortize the MZIM reconfiguration cost.
+            packet_bits: 1024,
+            link_bits_per_cycle: 256,
+            seed: 0xF1u64,
+        }
+    }
+}
+
+/// Runs one offered-load point on a network.
+pub fn measure_point<N: Network + ?Sized>(
+    net: &mut N,
+    pattern: TrafficPattern,
+    offered_load: f64,
+    cfg: &RunConfig,
+) -> LatencyPoint {
+    let n = net.num_nodes();
+    let mut inj = BernoulliInjector::new(
+        offered_load,
+        cfg.packet_bits,
+        cfg.link_bits_per_cycle,
+        pattern,
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for c in 0..cfg.warmup {
+        for p in inj.generate(n, c, &mut rng) {
+            net.inject(p);
+        }
+        net.step();
+    }
+    net.stats_mut().reset();
+    let backlog_before = net.pending();
+
+    for c in cfg.warmup..cfg.warmup + cfg.measure {
+        for p in inj.generate(n, c, &mut rng) {
+            net.inject(p);
+        }
+        net.step();
+    }
+
+    let stats = net.stats();
+    let backlog_after = net.pending();
+    // Saturated when the backlog grows materially over the measured window.
+    let saturated = backlog_after > backlog_before + (n * 8)
+        || stats.avg_latency().is_none();
+    LatencyPoint {
+        offered_load,
+        avg_latency: stats.avg_latency().unwrap_or(f64::INFINITY),
+        throughput: stats.throughput(n),
+        link_utilization: stats.avg_link_utilization(),
+        saturated,
+    }
+}
+
+/// Sweeps offered load over `loads` for a fresh network per point.
+pub fn latency_load_sweep<F, N>(
+    mut make_net: F,
+    pattern: TrafficPattern,
+    loads: &[f64],
+    cfg: &RunConfig,
+) -> Vec<LatencyPoint>
+where
+    F: FnMut() -> N,
+    N: Network,
+{
+    loads
+        .iter()
+        .map(|&load| {
+            let mut net = make_net();
+            measure_point(&mut net, pattern, load, cfg)
+        })
+        .collect()
+}
+
+/// Injects an explicit packet schedule (cycle-stamped) and runs until the
+/// network drains or `max_cycles` elapse. Returns total cycles simulated.
+/// Used by trace-driven studies (e.g. Fig. 1 link-utilization traces).
+pub fn run_schedule<N: Network + ?Sized>(
+    net: &mut N,
+    mut schedule: Vec<Packet>,
+    max_cycles: u64,
+) -> u64 {
+    schedule.sort_by_key(|p| p.created_at);
+    let mut next = 0usize;
+    let start = net.cycle();
+    while net.cycle() - start < max_cycles {
+        let now = net.cycle();
+        while next < schedule.len() && schedule[next].created_at <= now {
+            net.inject(schedule[next].clone());
+            next += 1;
+        }
+        net.step();
+        if next >= schedule.len() && net.pending() == 0 {
+            break;
+        }
+    }
+    net.cycle() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::OpticalBus;
+    use crate::crossbar::MzimCrossbar;
+    use crate::routed::RoutedNetwork;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig { warmup: 500, measure: 3_000, ..RunConfig::default() }
+    }
+
+    #[test]
+    fn low_load_latency_is_low_everywhere() {
+        let cfg = quick_cfg();
+        let p = measure_point(
+            &mut MzimCrossbar::flumen_16(),
+            TrafficPattern::UniformRandom,
+            0.05,
+            &cfg,
+        );
+        assert!(!p.saturated);
+        assert!(p.avg_latency < 20.0, "{}", p.avg_latency);
+    }
+
+    #[test]
+    fn latency_monotone_with_load_on_mesh() {
+        let cfg = quick_cfg();
+        let pts = latency_load_sweep(
+            RoutedNetwork::mesh_4x4,
+            TrafficPattern::UniformRandom,
+            &[0.05, 0.3, 0.6],
+            &cfg,
+        );
+        assert!(pts[0].avg_latency < pts[1].avg_latency);
+        assert!(pts[1].avg_latency <= pts[2].avg_latency * 1.5);
+    }
+
+    #[test]
+    fn ring_saturates_before_crossbar() {
+        // Same absolute offered load (fraction of 256 bits/cycle) on both.
+        let cfg = quick_cfg();
+        let load = 0.5;
+        let ring = measure_point(
+            &mut RoutedNetwork::ring_16(),
+            TrafficPattern::UniformRandom,
+            load,
+            &cfg,
+        );
+        let xbar = measure_point(
+            &mut MzimCrossbar::flumen_16(),
+            TrafficPattern::UniformRandom,
+            load,
+            &cfg,
+        );
+        assert!(!xbar.saturated, "crossbar saturated at load {load}");
+        assert!(
+            ring.saturated || ring.avg_latency > xbar.avg_latency,
+            "ring {:.1} vs crossbar {:.1}",
+            ring.avg_latency,
+            xbar.avg_latency
+        );
+    }
+
+    #[test]
+    fn optbus_saturates_above_half_load() {
+        let cfg = quick_cfg();
+        let p = measure_point(
+            &mut OpticalBus::optbus_16(),
+            TrafficPattern::UniformRandom,
+            0.8,
+            &cfg,
+        );
+        assert!(p.saturated);
+    }
+
+    #[test]
+    fn run_schedule_drains() {
+        let mut net = MzimCrossbar::flumen_16();
+        let schedule: Vec<Packet> =
+            (0..64).map(|k| Packet::new(k, (k % 16) as usize, ((k + 3) % 16) as usize, 512, k)).collect();
+        let cycles = run_schedule(&mut net, schedule, 50_000);
+        assert_eq!(net.pending(), 0);
+        assert!(cycles < 50_000);
+        assert_eq!(net.stats().delivered, 64);
+    }
+}

@@ -1,0 +1,189 @@
+//! Network statistics: latency, throughput, per-link utilization, and the
+//! raw activity counts the energy model consumes.
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets handed to the network.
+    pub injected: u64,
+    /// Packet deliveries (a multicast counts once per destination).
+    pub delivered: u64,
+    /// Sum of end-to-end latencies (cycles) over deliveries.
+    pub latency_sum: u64,
+    /// Maximum delivery latency seen.
+    pub latency_max: u64,
+    /// Latency histogram in power-of-two buckets: bucket `i` counts
+    /// deliveries with latency in `[2^i, 2^{i+1})` (bucket 0 holds 0–1).
+    /// Cheap enough to keep always-on and sufficient for p50/p99.
+    pub latency_hist: [u64; 24],
+    /// Total bits injected.
+    pub bits_injected: u64,
+    /// Total bit·hops moved across links (electrical energy ∝ this).
+    pub bit_hops: u64,
+    /// Per-link busy cycles, indexed by link id (meaning is
+    /// topology-specific; endpoint links for the photonic fabrics).
+    pub link_busy: Vec<u64>,
+    /// Fabric reconfigurations performed (MZIM only).
+    pub reconfigurations: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics with `links` utilization counters.
+    pub fn new(links: usize) -> Self {
+        NetStats { link_busy: vec![0; links], ..NetStats::default() }
+    }
+
+    /// Records one delivery latency into the aggregate counters.
+    pub fn record_latency(&mut self, lat: u64) {
+        self.delivered += 1;
+        self.latency_sum += lat;
+        self.latency_max = self.latency_max.max(lat);
+        let bucket = (64 - lat.max(1).leading_zeros() as usize - 1).min(23);
+        self.latency_hist[bucket] += 1;
+    }
+
+    /// Approximate latency percentile (upper edge of the histogram bucket
+    /// containing the quantile). `None` before any delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q ∈ (0, 1]`.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.delivered == 0 {
+            return None;
+        }
+        let target = (self.delivered as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(self.latency_max)
+    }
+
+    /// Mean end-to-end latency in cycles (`None` before any delivery).
+    pub fn avg_latency(&self) -> Option<f64> {
+        if self.delivered == 0 {
+            None
+        } else {
+            Some(self.latency_sum as f64 / self.delivered as f64)
+        }
+    }
+
+    /// Mean link utilization over the run, in `[0, 1]`.
+    pub fn avg_link_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.link_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.link_busy.iter().sum();
+        busy as f64 / (self.cycles as f64 * self.link_busy.len() as f64)
+    }
+
+    /// Per-link utilizations in `[0, 1]`.
+    pub fn link_utilizations(&self) -> Vec<f64> {
+        if self.cycles == 0 {
+            return vec![0.0; self.link_busy.len()];
+        }
+        self.link_busy.iter().map(|&b| b as f64 / self.cycles as f64).collect()
+    }
+
+    /// Delivered throughput in packets per node per cycle.
+    pub fn throughput(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / (self.cycles as f64 * nodes as f64)
+    }
+
+    /// Clears counters while keeping the link vector size (used at the end
+    /// of warmup so measurements exclude transient state).
+    pub fn reset(&mut self) {
+        let links = self.link_busy.len();
+        *self = NetStats::new(links);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_none_when_empty() {
+        assert_eq!(NetStats::new(4).avg_latency(), None);
+    }
+
+    #[test]
+    fn avg_latency_mean() {
+        let mut s = NetStats::new(0);
+        s.delivered = 4;
+        s.latency_sum = 100;
+        assert_eq!(s.avg_latency(), Some(25.0));
+    }
+
+    #[test]
+    fn record_latency_updates_everything() {
+        let mut s = NetStats::new(0);
+        s.record_latency(5);
+        s.record_latency(100);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.latency_sum, 105);
+        assert_eq!(s.latency_max, 100);
+        assert_eq!(s.avg_latency(), Some(52.5));
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let mut s = NetStats::new(0);
+        // 99 fast deliveries (~4 cycles), one slow (~1000).
+        for _ in 0..99 {
+            s.record_latency(4);
+        }
+        s.record_latency(1000);
+        let p50 = s.latency_percentile(0.5).unwrap();
+        let p99 = s.latency_percentile(0.99).unwrap();
+        let p100 = s.latency_percentile(1.0).unwrap();
+        assert!(p50 <= 8, "p50 bucket {p50}");
+        assert!(p99 <= 8, "p99 still in the fast bucket: {p99}");
+        assert!(p100 >= 1000, "max bucket covers the straggler: {p100}");
+        assert_eq!(NetStats::new(0).latency_percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_zero() {
+        let _ = NetStats::new(0).latency_percentile(0.0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut s = NetStats::new(2);
+        s.cycles = 100;
+        s.link_busy[0] = 50;
+        s.link_busy[1] = 100;
+        assert!((s.avg_link_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(s.link_utilizations(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn reset_preserves_link_count() {
+        let mut s = NetStats::new(3);
+        s.injected = 7;
+        s.cycles = 9;
+        s.reset();
+        assert_eq!(s.injected, 0);
+        assert_eq!(s.link_busy.len(), 3);
+    }
+
+    #[test]
+    fn throughput_per_node() {
+        let mut s = NetStats::new(0);
+        s.delivered = 200;
+        s.cycles = 100;
+        assert!((s.throughput(4) - 0.5).abs() < 1e-12);
+    }
+}

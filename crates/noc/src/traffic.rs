@@ -1,0 +1,223 @@
+//! Synthetic traffic patterns (paper Fig. 11) and Bernoulli injection.
+
+use rand::Rng;
+
+/// A synthetic destination pattern over `n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Destination drawn uniformly from all other nodes.
+    UniformRandom,
+    /// Destination is the bit reversal of the source id.
+    BitReversal,
+    /// Destination is the source rotated left by one bit (perfect shuffle).
+    Shuffle,
+    /// Destination is the bitwise complement of the source.
+    BitComplement,
+    /// Matrix-transpose pattern: swap the high and low halves of the id.
+    Transpose,
+    /// A fraction of traffic targets node 0, the rest is uniform.
+    Hotspot,
+}
+
+impl TrafficPattern {
+    /// All patterns evaluated in Fig. 11 plus extras for ablations.
+    pub fn all() -> [TrafficPattern; 6] {
+        [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Shuffle,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Transpose,
+            TrafficPattern::Hotspot,
+        ]
+    }
+
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform_random",
+            TrafficPattern::BitReversal => "bit_reversal",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::BitComplement => "bit_complement",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::Hotspot => "hotspot",
+        }
+    }
+
+    /// Picks a destination for `src` in an `n`-node network (`n` must be a
+    /// power of two for the bit-permutation patterns). Never returns `src`
+    /// — self-traffic is redrawn (uniform) or mapped to the next node
+    /// (deterministic patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn destination<R: Rng + ?Sized>(&self, src: usize, n: usize, rng: &mut R) -> usize {
+        assert!(n >= 2, "need at least two nodes");
+        let bits = n.trailing_zeros();
+        let dst = match self {
+            TrafficPattern::UniformRandom => {
+                let mut d = rng.gen_range(0..n);
+                while d == src {
+                    d = rng.gen_range(0..n);
+                }
+                return d;
+            }
+            TrafficPattern::BitReversal => reverse_bits(src, bits),
+            TrafficPattern::Shuffle => ((src << 1) | (src >> (bits.max(1) - 1) as usize)) & (n - 1),
+            TrafficPattern::BitComplement => !src & (n - 1),
+            TrafficPattern::Transpose => {
+                let half = bits / 2;
+                let lo = src & ((1 << half) - 1);
+                let hi = src >> half;
+                (lo << (bits - half)) | hi
+            }
+            TrafficPattern::Hotspot => {
+                if rng.gen_bool(0.2) {
+                    0
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+        };
+        if dst == src { (src + 1) % n } else { dst }
+    }
+}
+
+fn reverse_bits(x: usize, bits: u32) -> usize {
+    let mut out = 0usize;
+    for b in 0..bits {
+        if x >> b & 1 == 1 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+/// Open-loop Bernoulli packet generator: each node independently generates
+/// a packet with probability `rate / ser_cycles` per cycle, so `rate` is the
+/// offered load as a fraction of per-node link bandwidth.
+#[derive(Debug, Clone)]
+pub struct BernoulliInjector {
+    /// Offered load in `[0, 1]` (fraction of link bandwidth).
+    pub rate: f64,
+    /// Packet size in bits.
+    pub packet_bits: u32,
+    /// Link bandwidth used to convert load to packets/cycle.
+    pub link_bits_per_cycle: u32,
+    pattern: TrafficPattern,
+    next_id: u64,
+}
+
+impl BernoulliInjector {
+    /// Creates an injector offering `rate` of link bandwidth with the given
+    /// pattern.
+    pub fn new(rate: f64, packet_bits: u32, link_bits_per_cycle: u32, pattern: TrafficPattern) -> Self {
+        BernoulliInjector { rate, packet_bits, link_bits_per_cycle, pattern, next_id: 0 }
+    }
+
+    /// Probability that a node generates a packet in a given cycle.
+    pub fn packet_probability(&self) -> f64 {
+        let ser = (self.packet_bits as f64 / self.link_bits_per_cycle as f64).max(1.0);
+        (self.rate / ser).clamp(0.0, 1.0)
+    }
+
+    /// Generates this cycle's packets for all `n` nodes.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        cycle: u64,
+        rng: &mut R,
+    ) -> Vec<crate::Packet> {
+        let p = self.packet_probability();
+        let mut out = Vec::new();
+        for src in 0..n {
+            if rng.gen_bool(p) {
+                let dst = self.pattern.destination(src, n, rng);
+                out.push(crate::Packet::new(self.next_id, src, dst, self.packet_bits, cycle));
+                self.next_id += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_reversal_16() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // 0b0001 -> 0b1000 for 16 nodes.
+        assert_eq!(TrafficPattern::BitReversal.destination(1, 16, &mut rng), 8);
+        assert_eq!(TrafficPattern::BitReversal.destination(3, 16, &mut rng), 12);
+    }
+
+    #[test]
+    fn shuffle_rotates_left() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // 0b0110 -> 0b1100 for 16 nodes.
+        assert_eq!(TrafficPattern::Shuffle.destination(6, 16, &mut rng), 12);
+        // 0b1001 -> 0b0011.
+        assert_eq!(TrafficPattern::Shuffle.destination(9, 16, &mut rng), 3);
+    }
+
+    #[test]
+    fn complement_pattern() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(TrafficPattern::BitComplement.destination(0, 16, &mut rng), 15);
+        assert_eq!(TrafficPattern::BitComplement.destination(5, 16, &mut rng), 10);
+    }
+
+    #[test]
+    fn never_self_traffic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for pattern in TrafficPattern::all() {
+            for src in 0..16 {
+                for _ in 0..8 {
+                    let d = pattern.destination(src, 16, &mut rng);
+                    assert_ne!(d, src, "{} src {src}", pattern.name());
+                    assert!(d < 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injector_rate_scales_probability() {
+        let inj_low = BernoulliInjector::new(0.1, 512, 256, TrafficPattern::UniformRandom);
+        let inj_high = BernoulliInjector::new(0.8, 512, 256, TrafficPattern::UniformRandom);
+        // ser = 2 cycles, so probability = rate / 2.
+        assert!((inj_low.packet_probability() - 0.05).abs() < 1e-12);
+        assert!((inj_high.packet_probability() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injector_generates_about_the_right_count() {
+        let mut inj = BernoulliInjector::new(0.5, 256, 256, TrafficPattern::UniformRandom);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0usize;
+        let cycles = 2000;
+        for c in 0..cycles {
+            total += inj.generate(16, c, &mut rng).len();
+        }
+        let expected = 0.5 * 16.0 * cycles as f64;
+        let ratio = total as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "generated {total}, expected ≈{expected}");
+    }
+
+    #[test]
+    fn injector_ids_unique() {
+        let mut inj = BernoulliInjector::new(1.0, 256, 256, TrafficPattern::UniformRandom);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = inj.generate(4, 0, &mut rng);
+        let b = inj.generate(4, 1, &mut rng);
+        let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|p| p.id).collect();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for the photonic circuit models.
+
+use std::error::Error;
+use std::fmt;
+
+/// A convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, PhotonicsError>;
+
+/// Errors produced by photonic circuit construction and programming.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// The requested mesh size is unsupported (e.g. zero, or not divisible
+    /// by 4 for partitioning).
+    InvalidSize {
+        /// The offending size.
+        n: usize,
+        /// What the operation required.
+        requirement: &'static str,
+    },
+    /// The matrix handed to a programming routine was not unitary.
+    NotUnitary {
+        /// Measured `‖U*U − I‖_max`.
+        deviation: f64,
+    },
+    /// A singular value exceeded 1 and cannot be realized by a passive
+    /// attenuator (paper §3.3.1 requires spectral-norm pre-scaling).
+    SingularValueTooLarge {
+        /// The offending singular value.
+        sigma: f64,
+    },
+    /// A communication pattern could not be routed on the mesh.
+    NotRoutable {
+        /// Human-readable description of the failing pattern.
+        reason: String,
+    },
+    /// A matrix or vector dimension did not match the mesh size.
+    DimensionMismatch {
+        /// Dimension expected by the circuit.
+        expected: usize,
+        /// Dimension provided by the caller.
+        actual: usize,
+    },
+    /// An underlying linear-algebra routine failed.
+    Linalg(flumen_linalg::LinalgError),
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhotonicsError::InvalidSize { n, requirement } => {
+                write!(f, "invalid mesh size {n}: {requirement}")
+            }
+            PhotonicsError::NotUnitary { deviation } => {
+                write!(f, "matrix is not unitary (max deviation {deviation:.3e})")
+            }
+            PhotonicsError::SingularValueTooLarge { sigma } => write!(
+                f,
+                "singular value {sigma:.6} exceeds 1; apply spectral_scale before programming"
+            ),
+            PhotonicsError::NotRoutable { reason } => write!(f, "pattern not routable: {reason}"),
+            PhotonicsError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            PhotonicsError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for PhotonicsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PhotonicsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flumen_linalg::LinalgError> for PhotonicsError {
+    fn from(e: flumen_linalg::LinalgError) -> Self {
+        PhotonicsError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = vec![
+            PhotonicsError::InvalidSize { n: 3, requirement: "must be divisible by 4" },
+            PhotonicsError::NotUnitary { deviation: 0.5 },
+            PhotonicsError::SingularValueTooLarge { sigma: 1.5 },
+            PhotonicsError::NotRoutable { reason: "reconvergent multicast".into() },
+            PhotonicsError::DimensionMismatch { expected: 8, actual: 4 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn linalg_error_converts() {
+        let e: PhotonicsError = flumen_linalg::LinalgError::NotAPermutation.into();
+        assert!(matches!(e, PhotonicsError::Linalg(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,253 @@
+//! Device imperfections: thermal phase drift and finite-extinction
+//! couplers.
+//!
+//! The paper's case for MZIs over MRRs (§6) is robustness: MRRs need
+//! per-ring thermal tuning and detune with milli-kelvin gradients, while
+//! MZI meshes tolerate phase error gracefully. This module makes that
+//! argument quantitative for *our* fabric:
+//!
+//! * [`ThermalModel`] perturbs every programmed phase with a seeded
+//!   Gaussian drift (radians RMS) — the aggregate effect of thermal
+//!   gradients and DAC drift on the phase shifters.
+//! * [`CouplerImbalance`] models directional couplers whose splitting
+//!   ratio misses 50:50 by `δ`, which bounds the achievable extinction of
+//!   cross/bar states (a perfect MZI needs perfect 3 dB couplers).
+//!
+//! Both apply to a [`MzimMesh`] in place, so any programmed
+//! configuration — Clements unitary, routed permutation, broadcast tree,
+//! SVD section — can be stress-tested. `crosstalk_floor_db` summarizes
+//! routing quality after perturbation.
+
+use crate::mesh::MzimMesh;
+use crate::mzi::MziPhase;
+use flumen_linalg::C64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian phase drift applied to every θ and φ in a mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// RMS phase error, radians (θ and φ independently).
+    pub sigma_rad: f64,
+    /// Seed for reproducible perturbation draws.
+    pub seed: u64,
+}
+
+impl ThermalModel {
+    /// A model with the given RMS phase error.
+    pub fn new(sigma_rad: f64, seed: u64) -> Self {
+        ThermalModel { sigma_rad, seed }
+    }
+
+    /// Perturbs every MZI phase in the mesh.
+    pub fn apply(&self, mesh: &mut MzimMesh) {
+        if self.sigma_rad == 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots: Vec<(usize, usize, MziPhase)> =
+            mesh.iter().map(|s| (s.col, s.mode, s.phase)).collect();
+        for (col, mode, phase) in slots {
+            let p = MziPhase::new(
+                phase.theta + gaussian(&mut rng) * self.sigma_rad,
+                phase.phi + gaussian(&mut rng) * self.sigma_rad,
+            );
+            mesh.set_phase(col, mode, p).expect("slot exists");
+        }
+    }
+}
+
+/// Directional-coupler imbalance: each 3 dB coupler splits
+/// `(0.5 + δ) : (0.5 − δ)` instead of 50:50, bounding cross/bar
+/// extinction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplerImbalance {
+    /// Power-splitting deviation `δ ∈ [0, 0.5)`.
+    pub delta: f64,
+}
+
+impl CouplerImbalance {
+    /// Creates an imbalance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `delta ∈ [0, 0.5)`.
+    pub fn new(delta: f64) -> Self {
+        assert!((0.0..0.5).contains(&delta), "delta must be in [0, 0.5)");
+        CouplerImbalance { delta }
+    }
+
+    /// Best-case extinction ratio of a cross or bar state, dB.
+    ///
+    /// With imbalance δ the nulled port retains power `≈ 4δ²`, so
+    /// extinction is `−10·log₁₀(4δ²)`.
+    pub fn extinction_db(&self) -> f64 {
+        if self.delta == 0.0 {
+            f64::INFINITY
+        } else {
+            -10.0 * (4.0 * self.delta * self.delta).log10()
+        }
+    }
+
+    /// The leakage power fraction at the nominally dark port.
+    pub fn leakage(&self) -> f64 {
+        4.0 * self.delta * self.delta
+    }
+
+    /// Approximates the imbalance by biasing every cross/bar θ away from
+    /// its ideal value so the dark-port power equals [`Self::leakage`].
+    /// (An exact coupler model would change the MZI transfer structure;
+    /// biasing θ reproduces the same power-level crosstalk, which is what
+    /// the network cares about.)
+    pub fn apply(&self, mesh: &mut MzimMesh) {
+        if self.delta == 0.0 {
+            return;
+        }
+        // sin²(θ/2) = leakage at the dark port ⇒ bias angle:
+        let bias = 2.0 * self.leakage().sqrt().asin();
+        let slots: Vec<(usize, usize, MziPhase)> =
+            mesh.iter().map(|s| (s.col, s.mode, s.phase)).collect();
+        for (col, mode, phase) in slots {
+            let p = if phase.is_cross() {
+                MziPhase::new(bias, phase.phi)
+            } else if phase.is_bar() {
+                MziPhase::new(std::f64::consts::PI - bias, phase.phi)
+            } else {
+                phase
+            };
+            mesh.set_phase(col, mode, p).expect("slot exists");
+        }
+    }
+}
+
+/// Measures the worst-case crosstalk of a routed (permutation) mesh: the
+/// highest power observed at any *wrong* output across all inputs,
+/// relative to the intended output's power, in dB (negative = good).
+///
+/// # Panics
+///
+/// Panics if the mesh does not deliver a dominant output for some input
+/// (i.e. it is not routing a permutation at all).
+pub fn crosstalk_floor_db(mesh: &MzimMesh) -> f64 {
+    let n = mesh.n();
+    let mut worst: f64 = f64::NEG_INFINITY;
+    for src in 0..n {
+        let mut x = vec![C64::ZERO; n];
+        x[src] = C64::ONE;
+        let y = mesh.propagate(&x);
+        let powers: Vec<f64> = y.iter().map(|f| f.norm_sqr()).collect();
+        let (main_idx, main) = powers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        assert!(*main > 0.5, "input {src} lost its signal");
+        for (i, &p) in powers.iter().enumerate() {
+            if i != main_idx && p > 0.0 {
+                worst = worst.max(10.0 * (p / main).log10());
+            }
+        }
+    }
+    worst
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clements::program_mesh;
+    use crate::routing;
+    use flumen_linalg::random_unitary;
+
+    fn routed_mesh(n: usize) -> MzimMesh {
+        let mut mesh = MzimMesh::new(n);
+        let perm: Vec<usize> = (0..n).rev().collect();
+        routing::route_permutation(&mut mesh, &perm).unwrap();
+        mesh
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut a = routed_mesh(8);
+        let b = a.clone();
+        ThermalModel::new(0.0, 1).apply(&mut a);
+        assert!(a.transfer_matrix().approx_eq(&b.transfer_matrix(), 0.0));
+    }
+
+    #[test]
+    fn thermal_drift_is_deterministic_per_seed() {
+        let mut a = routed_mesh(8);
+        let mut b = routed_mesh(8);
+        ThermalModel::new(0.01, 7).apply(&mut a);
+        ThermalModel::new(0.01, 7).apply(&mut b);
+        assert!(a.transfer_matrix().approx_eq(&b.transfer_matrix(), 0.0));
+        let mut c = routed_mesh(8);
+        ThermalModel::new(0.01, 8).apply(&mut c);
+        assert!(!a.transfer_matrix().approx_eq(&c.transfer_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn routing_survives_small_drift() {
+        // 10 mrad RMS: signals stay on their routes with > 25 dB margin.
+        let mut mesh = routed_mesh(8);
+        ThermalModel::new(0.01, 3).apply(&mut mesh);
+        let xt = crosstalk_floor_db(&mesh);
+        assert!(xt < -25.0, "crosstalk {xt:.1} dB");
+    }
+
+    #[test]
+    fn crosstalk_grows_with_drift() {
+        let mut samples = Vec::new();
+        for sigma in [0.005f64, 0.05, 0.2] {
+            let mut mesh = routed_mesh(8);
+            ThermalModel::new(sigma, 11).apply(&mut mesh);
+            samples.push(crosstalk_floor_db(&mesh));
+        }
+        assert!(samples[0] < samples[1] && samples[1] < samples[2], "{samples:?}");
+    }
+
+    #[test]
+    fn unitary_fidelity_degrades_smoothly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let u = random_unitary(8, &mut rng);
+        let mut mesh = MzimMesh::new(8);
+        program_mesh(&mut mesh, &u).unwrap();
+        ThermalModel::new(0.02, 5).apply(&mut mesh);
+        let err = (&mesh.transfer_matrix() - &u).max_abs();
+        assert!(err > 1e-6, "perturbation must be visible");
+        assert!(err < 0.2, "but small drift must not destroy the unitary: {err}");
+    }
+
+    #[test]
+    fn extinction_ratio_formula() {
+        let c = CouplerImbalance::new(0.05);
+        // 4·0.05² = 0.01 → 20 dB.
+        assert!((c.extinction_db() - 20.0).abs() < 1e-9);
+        assert!((c.leakage() - 0.01).abs() < 1e-12);
+        assert_eq!(CouplerImbalance::new(0.0).extinction_db(), f64::INFINITY);
+    }
+
+    #[test]
+    fn imbalance_sets_crosstalk_floor() {
+        let mut mesh = routed_mesh(8);
+        CouplerImbalance::new(0.05).apply(&mut mesh);
+        let xt = crosstalk_floor_db(&mesh);
+        // Each stage leaks −20 dB; the floor must be near that order.
+        assert!(xt > -30.0 && xt < -10.0, "{xt:.1} dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn imbalance_bounds_checked() {
+        let _ = CouplerImbalance::new(0.6);
+    }
+}

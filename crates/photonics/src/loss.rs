@@ -1,0 +1,142 @@
+//! Worst-case optical path loss and laser power scaling (paper §5.2,
+//! Fig. 12a).
+//!
+//! Laser wall-plug power is set by the worst-case path loss: the receiver
+//! needs at least its sensitivity floor, every dB of loss multiplies the
+//! required optical power, and the off-chip laser converts electrical to
+//! optical power at efficiency OWPE.
+//!
+//! The two photonic topologies scale very differently (in dB):
+//!
+//! * **OptBus** — a signal on the shared waveguide passes the off-resonance
+//!   *thru* port of every other node's MRRs: about `k/2` nodes × `p` rings
+//!   each on the worst path, so loss ∝ `k·p` and laser power is
+//!   **exponential** in both node count and wavelength count.
+//! * **Flumen MZIM** — the worst path crosses about `k/2` MZIs of the mesh
+//!   plus the per-endpoint mux/demux rings (`2p` thru passes), so loss
+//!   ∝ `k/2 + 2p` — the `k·p` product term never appears.
+
+use crate::device::DeviceParams;
+
+/// Fixed waveguide length charged to an OptBus worst-case path, cm.
+/// Chosen so the 16-node / 32-λ / 0.1 dB operating point lands at the
+/// paper's quoted 32.3 mW (see EXPERIMENTS.md).
+const OPTBUS_WG_CM: f64 = 1.0;
+/// Fixed waveguide length charged to a Flumen worst-case path, cm.
+const FLUMEN_WG_CM: f64 = 0.32;
+
+/// Worst-case path loss of a `k`-node optical bus carrying `p` wavelengths,
+/// in dB.
+///
+/// # Examples
+///
+/// ```
+/// use flumen_photonics::{loss, DeviceParams};
+/// let d = DeviceParams::paper();
+/// // Loss grows with the k·p product.
+/// let l16 = loss::optbus_worst_loss_db(16, 16, &d);
+/// let l32 = loss::optbus_worst_loss_db(16, 32, &d);
+/// assert!(l32 > l16 + 10.0);
+/// ```
+pub fn optbus_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+    let mrr_passes = (k as f64 / 2.0) * p as f64;
+    mrr_passes * dev.mrr_thru_loss_db
+        + dev.mrr_drop_loss_db
+        + OPTBUS_WG_CM * dev.waveguide_straight_db_per_cm
+}
+
+/// Worst-case path loss of a `k`-endpoint Flumen MZIM fabric carrying `p`
+/// wavelengths, in dB: `k/2` mesh MZIs (plus the attenuator-column MZI) and
+/// `2p` endpoint MRR thru passes.
+pub fn flumen_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+    let mzi_passes = k as f64 / 2.0 + 1.0; // +1: the attenuator column
+    mzi_passes * dev.mzi_loss_db()
+        + 2.0 * p as f64 * dev.mrr_thru_loss_db
+        + dev.y_branch_loss_db
+        + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
+}
+
+/// Electrical laser power (mW, per wavelength) needed by a `k`-node OptBus
+/// with `p` wavelengths.
+pub fn optbus_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+    dev.laser_wall_power_mw(optbus_worst_loss_db(k, p, dev))
+}
+
+/// Electrical laser power (mW, per wavelength) needed by a `k`-endpoint
+/// Flumen fabric with `p` wavelengths.
+pub fn flumen_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+    dev.laser_wall_power_mw(flumen_worst_loss_db(k, p, dev))
+}
+
+/// Worst-case loss (dB) through an `n`-input compute partition: the signal
+/// traverses the full SVD circuit depth — `n` mesh columns per unitary
+/// section plus the attenuator column.
+pub fn compute_path_loss_db(n: usize, dev: &DeviceParams) -> f64 {
+    (2.0 * n as f64 + 1.0) * dev.mzi_loss_db()
+        + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optbus_scales_with_kp_product() {
+        let d = DeviceParams::paper();
+        let base = optbus_worst_loss_db(16, 16, &d);
+        let double_k = optbus_worst_loss_db(32, 16, &d);
+        let double_p = optbus_worst_loss_db(16, 32, &d);
+        // Doubling either k or p adds the same MRR loss.
+        assert!((double_k - base - 12.8).abs() < 1e-9);
+        assert!((double_p - base - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flumen_scales_additively() {
+        let d = DeviceParams::paper();
+        let base = flumen_worst_loss_db(16, 16, &d);
+        let double_k = flumen_worst_loss_db(32, 16, &d);
+        let double_p = flumen_worst_loss_db(16, 32, &d);
+        // Doubling k adds 8 MZI passes (~2.2 dB); doubling p adds 3.2 dB.
+        assert!((double_k - base - 8.0 * d.mzi_loss_db()).abs() < 1e-9);
+        assert!((double_p - base - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_operating_point_laser_powers() {
+        // §5.2: "At 32 wavelengths and 0.1 dB MRR thru port loss, laser
+        // power is 32.3 mW for OptBus and only 429.6 µW for the Flumen
+        // interconnect" — a 75× reduction.
+        let d = DeviceParams::paper();
+        let ob = optbus_laser_power_mw(16, 32, &d);
+        let fl = flumen_laser_power_mw(16, 32, &d);
+        assert!((ob - 32.3).abs() / 32.3 < 0.10, "OptBus {ob:.2} mW, expected ≈32.3");
+        assert!((fl - 0.4296).abs() / 0.4296 < 0.15, "Flumen {fl:.4} mW, expected ≈0.43");
+        let ratio = ob / fl;
+        assert!(ratio > 50.0 && ratio < 110.0, "reduction {ratio:.1}×, paper says 75×");
+    }
+
+    #[test]
+    fn flumen_insensitive_to_mrr_loss_vs_optbus() {
+        // Fig. 12a: OptBus laser power explodes with MRR thru loss, Flumen
+        // grows gently.
+        let mut lo = DeviceParams::paper();
+        lo.mrr_thru_loss_db = 0.01;
+        let mut hi = DeviceParams::paper();
+        hi.mrr_thru_loss_db = 0.05;
+        let ob_growth = optbus_laser_power_mw(16, 32, &hi) / optbus_laser_power_mw(16, 32, &lo);
+        let fl_growth = flumen_laser_power_mw(16, 32, &hi) / flumen_laser_power_mw(16, 32, &lo);
+        // 0.04 dB × 256 MRR passes ≈ 10.2 dB extra for the bus vs
+        // 0.04 dB × 64 passes ≈ 2.6 dB for Flumen.
+        assert!(ob_growth > 8.0, "OptBus growth {ob_growth:.1}");
+        assert!(fl_growth < 2.5, "Flumen growth {fl_growth:.2}");
+        assert!(ob_growth > 4.0 * fl_growth);
+    }
+
+    #[test]
+    fn compute_loss_grows_with_partition_size() {
+        let d = DeviceParams::paper();
+        assert!(compute_path_loss_db(8, &d) > compute_path_loss_db(4, &d));
+        assert!(compute_path_loss_db(4, &d) > 0.0);
+    }
+}

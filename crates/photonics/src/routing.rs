@@ -1,0 +1,462 @@
+//! Communication mapping onto the MZI mesh (paper §3.2).
+//!
+//! * **One-to-one** patterns are realized with cross/bar states found by an
+//!   odd-even transposition sorting network — the brick-wall mesh *is* that
+//!   network, so any permutation routes in the mesh's `N` columns and the
+//!   fabric behaves like a non-blocking crossbar.
+//! * **One-to-many** patterns use intermediate splitting states
+//!   (`θ = π/2` gives 50:50) to grow a broadcast/multicast tree whose leaf
+//!   powers are exactly `1/|D|` of the injected power (paper Fig. 6b).
+//!
+//! Both routines may be restricted to a contiguous wire range so that a
+//! partition of the Flumen fabric can be routed independently (paper Fig. 5).
+
+use crate::mesh::MzimMesh;
+use crate::mzi::MziPhase;
+use crate::{PhotonicsError, Result};
+
+/// Routes a full permutation on the mesh: input `i` exits on `perm[i]`.
+///
+/// All MZIs are set to cross or bar; unused columns default to bar.
+///
+/// # Errors
+///
+/// Returns [`PhotonicsError::NotRoutable`] if `perm` is not a permutation of
+/// `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use flumen_photonics::{routing, MzimMesh};
+/// let mut mesh = MzimMesh::new(4);
+/// routing::route_permutation(&mut mesh, &[3, 1, 0, 2])?;
+/// assert!(mesh.trace_route(0, 3).is_some());
+/// # Ok::<(), flumen_photonics::PhotonicsError>(())
+/// ```
+pub fn route_permutation(mesh: &mut MzimMesh, perm: &[usize]) -> Result<()> {
+    route_permutation_in_range(mesh, 0, mesh.n(), 0, mesh.column_count(), perm)
+}
+
+/// Routes a permutation restricted to `width` wires starting at `base`,
+/// using mesh columns `col0 .. col0 + cols`. `perm` is relative to the
+/// range: the signal entering wire `base + i` exits on wire `base + perm[i]`.
+///
+/// # Errors
+///
+/// * [`PhotonicsError::NotRoutable`] if `perm` is not a permutation of
+///   `0..width`, or if `cols < width` (odd-even transposition needs `width`
+///   rounds).
+/// * [`PhotonicsError::DimensionMismatch`] if the range exceeds the mesh.
+pub fn route_permutation_in_range(
+    mesh: &mut MzimMesh,
+    base: usize,
+    width: usize,
+    col0: usize,
+    cols: usize,
+    perm: &[usize],
+) -> Result<()> {
+    validate_range(mesh, base, width, col0, cols)?;
+    if perm.len() != width || !is_permutation(perm) {
+        return Err(PhotonicsError::NotRoutable {
+            reason: format!("{perm:?} is not a permutation of 0..{width}"),
+        });
+    }
+    if cols < width {
+        return Err(PhotonicsError::NotRoutable {
+            reason: format!("need {width} columns for odd-even routing, have {cols}"),
+        });
+    }
+
+    // dest[w] = relative destination of the signal currently on wire base+w.
+    let mut dest: Vec<usize> = perm.to_vec();
+    for c in col0..col0 + cols {
+        for slot in column_slots_in_range(mesh, c, base, width) {
+            let (m, _) = slot;
+            let lo = m - base;
+            let hi = lo + 1;
+            let phase = if dest[lo] > dest[hi] {
+                dest.swap(lo, hi);
+                MziPhase::cross()
+            } else {
+                MziPhase::bar()
+            };
+            mesh.set_phase(c, m, phase)?;
+        }
+    }
+    if dest.iter().enumerate().any(|(i, &d)| d != i) {
+        return Err(PhotonicsError::NotRoutable {
+            reason: "odd-even transposition did not converge (internal error)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds a multicast tree from `src` to every destination in `dests`
+/// (absolute wire indices), delivering `1/|dests|` of the injected power to
+/// each destination. A broadcast is the special case `dests == 0..n`.
+///
+/// # Errors
+///
+/// * [`PhotonicsError::NotRoutable`] if `dests` is empty, out of range, or
+///   the greedy tree construction hits an unroutable reconvergence (the
+///   caller should fall back to serial unicast).
+pub fn route_multicast(mesh: &mut MzimMesh, src: usize, dests: &[usize]) -> Result<()> {
+    let n = mesh.n();
+    route_multicast_in_range(mesh, 0, n, 0, mesh.column_count(), src, dests)
+}
+
+/// Range-restricted variant of [`route_multicast`]; `src` and `dests` are
+/// absolute wire indices that must lie within `[base, base + width)`.
+///
+/// # Errors
+///
+/// See [`route_multicast`]; additionally
+/// [`PhotonicsError::DimensionMismatch`] if the range exceeds the mesh.
+pub fn route_multicast_in_range(
+    mesh: &mut MzimMesh,
+    base: usize,
+    width: usize,
+    col0: usize,
+    cols: usize,
+    src: usize,
+    dests: &[usize],
+) -> Result<()> {
+    validate_range(mesh, base, width, col0, cols)?;
+    if dests.is_empty() {
+        return Err(PhotonicsError::NotRoutable { reason: "empty destination set".into() });
+    }
+    let in_range = |w: usize| w >= base && w < base + width;
+    if !in_range(src) || dests.iter().any(|&d| !in_range(d)) {
+        return Err(PhotonicsError::NotRoutable {
+            reason: "source or destination outside the partition range".into(),
+        });
+    }
+    assert!(width <= 128, "multicast supports up to 128 wires");
+
+    let dest_mask: u128 = dests.iter().fold(0u128, |m, &d| m | (1u128 << (d - base)));
+
+    // Backward reachability: reach[c][w] = dests reachable from relative wire
+    // w entering relative column c (of `cols` total).
+    let mut reach = vec![vec![0u128; width]; cols + 1];
+    for w in 0..width {
+        if dest_mask >> w & 1 == 1 {
+            reach[cols][w] = 1u128 << w;
+        }
+    }
+    for c in (0..cols).rev() {
+        let gcol = col0 + c;
+        for w in 0..width {
+            reach[c][w] = reach[c + 1][w];
+        }
+        for (m, _) in column_slots_in_range(mesh, gcol, base, width) {
+            let lo = m - base;
+            let merged = reach[c + 1][lo] | reach[c + 1][lo + 1];
+            reach[c][lo] = merged;
+            reach[c][lo + 1] = merged;
+        }
+    }
+    if reach[0][src - base] & dest_mask != dest_mask {
+        return Err(PhotonicsError::NotRoutable {
+            reason: "destinations not reachable from source within range".into(),
+        });
+    }
+
+    // Forward pass: targets[w] = dest bits this wire's copy must serve.
+    let mut targets = vec![0u128; width];
+    targets[src - base] = dest_mask;
+    for c in 0..cols {
+        let gcol = col0 + c;
+        for (m, _) in column_slots_in_range(mesh, gcol, base, width) {
+            let lo = m - base;
+            let hi = lo + 1;
+            let a = targets[lo];
+            let b = targets[hi];
+            let phase = match (a != 0, b != 0) {
+                (false, false) => MziPhase::bar(),
+                (true, false) => split_one_input(a, reach[c + 1][lo], reach[c + 1][hi], true, &mut targets, lo, hi)?,
+                (false, true) => split_one_input(b, reach[c + 1][lo], reach[c + 1][hi], false, &mut targets, lo, hi)?,
+                (true, true) => {
+                    // Two copies meet: route them through without mixing.
+                    let bar_ok = a & !reach[c + 1][lo] == 0 && b & !reach[c + 1][hi] == 0;
+                    let cross_ok = a & !reach[c + 1][hi] == 0 && b & !reach[c + 1][lo] == 0;
+                    if bar_ok {
+                        MziPhase::bar()
+                    } else if cross_ok {
+                        targets.swap(lo, hi);
+                        MziPhase::cross()
+                    } else {
+                        return Err(PhotonicsError::NotRoutable {
+                            reason: "reconvergent multicast copies cannot be separated".into(),
+                        });
+                    }
+                }
+            };
+            mesh.set_phase(gcol, m, phase)?;
+        }
+    }
+
+    // Every destination wire must now hold exactly its own bit.
+    for d in dests {
+        let w = d - base;
+        if targets[w] != 1u128 << w {
+            return Err(PhotonicsError::NotRoutable {
+                reason: format!("destination {d} did not receive a dedicated copy"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Splits (or routes) a single active input across an MZI. `input_is_top`
+/// says whether the active copy enters on the top port (`lo`).
+///
+/// Power is divided in proportion to the number of destinations served by
+/// each side, which telescopes to exactly `1/|D|` per destination leaf.
+fn split_one_input(
+    t: u128,
+    reach_lo: u128,
+    reach_hi: u128,
+    input_is_top: bool,
+    targets: &mut [u128],
+    lo: usize,
+    hi: usize,
+) -> Result<MziPhase> {
+    let unreachable = t & !(reach_lo | reach_hi);
+    if unreachable != 0 {
+        return Err(PhotonicsError::NotRoutable {
+            reason: "multicast copy carries unreachable destinations".into(),
+        });
+    }
+    // Positional assignment: a destination below the MZI boundary rides the
+    // low wire, one at or above it rides the high wire (unless reachability
+    // forces otherwise). This keeps every copy's destination set aligned
+    // with its wire position, so copies meeting later are always separable.
+    let below: u128 = (1u128 << hi) - 1;
+    let pref_lo = t & below;
+    let pref_hi = t & !below;
+    let go_lo = (pref_lo & reach_lo) | (pref_hi & !reach_hi);
+    let go_hi = (pref_hi & reach_hi) | (pref_lo & !reach_lo);
+    debug_assert_eq!(go_lo | go_hi, t);
+    debug_assert_eq!(go_lo & go_hi, 0);
+    targets[lo] = go_lo;
+    targets[hi] = go_hi;
+
+    let n_lo = go_lo.count_ones() as f64;
+    let n_hi = go_hi.count_ones() as f64;
+    let frac_to_same_side = if input_is_top {
+        n_lo / (n_lo + n_hi)
+    } else {
+        n_hi / (n_lo + n_hi)
+    };
+    // `straight_fraction` is the power staying on the input's own wire.
+    Ok(MziPhase::splitter(frac_to_same_side))
+}
+
+fn validate_range(
+    mesh: &MzimMesh,
+    base: usize,
+    width: usize,
+    col0: usize,
+    cols: usize,
+) -> Result<()> {
+    if base + width > mesh.n() || col0 + cols > mesh.column_count() || width < 1 || cols < 1 {
+        return Err(PhotonicsError::DimensionMismatch {
+            expected: mesh.n(),
+            actual: base + width,
+        });
+    }
+    Ok(())
+}
+
+/// The MZIs of global column `gcol` fully contained in `[base, base+width)`,
+/// as `(mode, ())` pairs.
+fn column_slots_in_range(
+    mesh: &MzimMesh,
+    gcol: usize,
+    base: usize,
+    width: usize,
+) -> Vec<(usize, ())> {
+    mesh.column(gcol)
+        .iter()
+        .filter(|s| s.mode >= base && s.mode + 1 < base + width)
+        .map(|s| (s.mode, ()))
+        .collect()
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    perm.iter().all(|&p| {
+        if p < n && !seen[p] {
+            seen[p] = true;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flumen_linalg::C64;
+
+    fn power_out(mesh: &MzimMesh, src: usize) -> Vec<f64> {
+        let mut input = vec![C64::ZERO; mesh.n()];
+        input[src] = C64::ONE;
+        mesh.propagate(&input).iter().map(|f| f.norm_sqr()).collect()
+    }
+
+    #[test]
+    fn identity_permutation_routes() {
+        let mut mesh = MzimMesh::new(8);
+        let perm: Vec<usize> = (0..8).collect();
+        route_permutation(&mut mesh, &perm).unwrap();
+        for i in 0..8 {
+            let p = power_out(&mesh, i);
+            assert!((p[i] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reversal_permutation_routes() {
+        let mut mesh = MzimMesh::new(8);
+        let perm: Vec<usize> = (0..8).rev().collect();
+        route_permutation(&mut mesh, &perm).unwrap();
+        for i in 0..8 {
+            let p = power_out(&mesh, i);
+            assert!((p[7 - i] - 1.0).abs() < 1e-10, "input {i}");
+        }
+    }
+
+    #[test]
+    fn all_permutations_of_4_route() {
+        // Exhaustive over S4: the mesh is rearrangeably non-blocking.
+        let perms = permutations(4);
+        for perm in perms {
+            let mut mesh = MzimMesh::new(4);
+            route_permutation(&mut mesh, &perm).unwrap();
+            for i in 0..4 {
+                let p = power_out(&mesh, i);
+                assert!((p[perm[i]] - 1.0).abs() < 1e-10, "{perm:?} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_of_16_route() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..25 {
+            let mut perm: Vec<usize> = (0..16).collect();
+            perm.shuffle(&mut rng);
+            let mut mesh = MzimMesh::new(16);
+            route_permutation(&mut mesh, &perm).unwrap();
+            for i in 0..16 {
+                let p = power_out(&mesh, i);
+                assert!((p[perm[i]] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_permutation() {
+        let mut mesh = MzimMesh::new(4);
+        assert!(route_permutation(&mut mesh, &[0, 0, 1, 2]).is_err());
+        assert!(route_permutation(&mut mesh, &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn broadcast_uniform_power_all_sources() {
+        for n in [4usize, 8, 16] {
+            let dests: Vec<usize> = (0..n).collect();
+            for src in 0..n {
+                let mut mesh = MzimMesh::new(n);
+                route_multicast(&mut mesh, src, &dests).unwrap();
+                let p = power_out(&mesh, src);
+                for (w, pw) in p.iter().enumerate() {
+                    assert!(
+                        (pw - 1.0 / n as f64).abs() < 1e-9,
+                        "n={n} src={src} wire={w}: {pw}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_subset_power() {
+        let mut mesh = MzimMesh::new(8);
+        let dests = vec![1usize, 4, 6];
+        route_multicast(&mut mesh, 2, &dests).unwrap();
+        let p = power_out(&mesh, 2);
+        for d in &dests {
+            assert!((p[*d] - 1.0 / 3.0).abs() < 1e-9, "dest {d}: {}", p[*d]);
+        }
+        let leaked: f64 = (0..8).filter(|w| !dests.contains(w)).map(|w| p[w]).sum();
+        assert!(leaked < 1e-9, "power leaked to non-destinations: {leaked}");
+    }
+
+    #[test]
+    fn unicast_via_multicast() {
+        let mut mesh = MzimMesh::new(8);
+        route_multicast(&mut mesh, 0, &[7]).unwrap();
+        let p = power_out(&mesh, 0);
+        assert!((p[7] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multicast_rejects_empty_and_out_of_range() {
+        let mut mesh = MzimMesh::new(4);
+        assert!(route_multicast(&mut mesh, 0, &[]).is_err());
+        assert!(route_multicast(&mut mesh, 0, &[9]).is_err());
+    }
+
+    #[test]
+    fn range_restricted_permutation() {
+        // Route wires 4..8 of an 8-mesh independently; wires 0..4 untouched.
+        let mut mesh = MzimMesh::new(8);
+        route_permutation_in_range(&mut mesh, 4, 4, 0, 8, &[2, 3, 0, 1]).unwrap();
+        let p = power_out(&mesh, 4);
+        assert!((p[6] - 1.0).abs() < 1e-10);
+        let p = power_out(&mesh, 7);
+        assert!((p[5] - 1.0).abs() < 1e-10);
+        // Wires 0..4 still straight-through (bar default).
+        let p = power_out(&mesh, 1);
+        assert!((p[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn range_restricted_multicast() {
+        let mut mesh = MzimMesh::new(8);
+        route_multicast_in_range(&mut mesh, 0, 4, 0, 8, 1, &[0, 2, 3]).unwrap();
+        let p = power_out(&mesh, 1);
+        for d in [0usize, 2, 3] {
+            assert!((p[d] - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!(p[5] < 1e-12);
+    }
+
+    #[test]
+    fn too_few_columns_rejected() {
+        let mut mesh = MzimMesh::new(8);
+        let r = route_permutation_in_range(&mut mesh, 0, 8, 0, 4, &[1, 0, 3, 2, 5, 4, 7, 6]);
+        assert!(r.is_err());
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let mut out = Vec::new();
+        for p in permutations(n - 1) {
+            for pos in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(pos, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+}

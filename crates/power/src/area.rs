@@ -1,0 +1,138 @@
+//! Area model (paper §5.1), 7 nm-scaled.
+//!
+//! The paper's numbers pin the model exactly:
+//!
+//! * an endpoint (chiplet) is 9.46 mm², 4.2 % of which is the photonic
+//!   transceiver;
+//! * an MZI footprint of 0.14 mm² reproduces both the 8×8 fabric
+//!   (36 MZIs → 5.04 mm²) and the 64×64 fabric (2080 MZIs → 291.20 mm²);
+//! * fabric + control unit = 11.2 mm² for the 8×8, giving a 6.16 mm²
+//!   controller.
+
+/// Chiplet (endpoint) area including the photonic transceiver, mm².
+pub const ENDPOINT_MM2: f64 = 9.46;
+/// Fraction of the endpoint taken by the photonic transceiver.
+pub const TRANSCEIVER_FRACTION: f64 = 0.042;
+/// Footprint of one MZI (interposer), mm².
+pub const MZI_MM2: f64 = 0.14;
+/// MZIM control unit area, mm².
+pub const CONTROLLER_MM2: f64 = 6.16;
+
+/// MZI count of an `n`-input Flumen fabric: the unitary mesh plus the
+/// attenuator column.
+pub fn fabric_mzi_count(n: usize) -> usize {
+    n * (n - 1) / 2 + n
+}
+
+/// Area of an `n`-input Flumen MZIM, mm² (interposer).
+pub fn mzim_area_mm2(n: usize) -> f64 {
+    fabric_mzi_count(n) as f64 * MZI_MM2
+}
+
+/// Area of one chiplet without a photonic transceiver (electrical
+/// baseline), mm².
+pub fn electrical_endpoint_mm2() -> f64 {
+    ENDPOINT_MM2 * (1.0 - TRANSCEIVER_FRACTION)
+}
+
+/// Total area of a Flumen system with `chiplets` endpoints and an
+/// `n`-input fabric, mm².
+pub fn flumen_system_mm2(chiplets: usize, n: usize) -> f64 {
+    chiplets as f64 * ENDPOINT_MM2 + mzim_area_mm2(n) + CONTROLLER_MM2
+}
+
+/// Total area of the electrical-mesh baseline with `chiplets` endpoints,
+/// mm² (mesh routers/links are folded into the chiplet area, as in the
+/// paper's McPAT accounting).
+pub fn mesh_system_mm2(chiplets: usize) -> f64 {
+    chiplets as f64 * electrical_endpoint_mm2()
+}
+
+/// One row of the paper's scaling argument: fabric area vs combined
+/// chiplet area for a given system size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaRow {
+    /// Chiplet count.
+    pub chiplets: usize,
+    /// Fabric input count.
+    pub fabric_n: usize,
+    /// Fabric area, mm².
+    pub fabric_mm2: f64,
+    /// Combined chiplet area, mm².
+    pub chiplets_mm2: f64,
+    /// Fabric area as a fraction of chiplet area.
+    pub fabric_fraction: f64,
+}
+
+/// Scaling rows for the 16→128 chiplet argument (paper §5.1). The fabric
+/// needs `chiplets/2` inputs (two chiplets share a serialized port pair in
+/// the paper's 16-chiplet / 8×8 layout).
+pub fn scaling_table(chiplet_counts: &[usize]) -> Vec<AreaRow> {
+    chiplet_counts
+        .iter()
+        .map(|&c| {
+            let n = c / 2;
+            let fabric = mzim_area_mm2(n);
+            let chips = c as f64 * ENDPOINT_MM2;
+            AreaRow {
+                chiplets: c,
+                fabric_n: n,
+                fabric_mm2: fabric,
+                chiplets_mm2: chips,
+                fabric_fraction: fabric / chips,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_input_fabric_matches_paper() {
+        assert_eq!(fabric_mzi_count(8), 36);
+        assert!((mzim_area_mm2(8) - 5.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixty_four_input_fabric_matches_paper() {
+        assert_eq!(fabric_mzi_count(64), 2080);
+        assert!((mzim_area_mm2(64) - 291.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_system_area_matches_paper() {
+        // §5.1: 16 chiplets (151.36 mm²) + 8×8 MZIM + controller (11.2 mm²)
+        // = 162.6 mm².
+        let total = flumen_system_mm2(16, 8);
+        assert!((total - 162.56).abs() < 0.1, "{total}");
+    }
+
+    #[test]
+    fn mesh_baseline_and_overhead() {
+        // Mesh ≈ 144.9 mm²; Flumen is ~17.7 mm² (12.2 %) larger. (The
+        // paper prints "114.9" but its own +17.7 mm² / +12.2 % arithmetic
+        // requires 144.9.)
+        let mesh = mesh_system_mm2(16);
+        assert!((mesh - 144.98).abs() < 0.2, "{mesh}");
+        let flumen = flumen_system_mm2(16, 8);
+        let overhead = flumen - mesh;
+        assert!((overhead - 17.7).abs() < 0.3, "{overhead}");
+        let rel = overhead / mesh;
+        assert!((rel - 0.122).abs() < 0.01, "{rel}");
+    }
+
+    #[test]
+    fn scaling_fabric_fraction_grows_slowly() {
+        let rows = scaling_table(&[16, 32, 64, 128]);
+        // 128 chiplets: 64×64 fabric = 291.2 mm² vs 1210.88 mm² chiplets.
+        let last = &rows[3];
+        assert!((last.fabric_mm2 - 291.2).abs() < 1e-6);
+        assert!((last.chiplets_mm2 - 1210.88).abs() < 1e-6);
+        // Fabric stays a modest fraction (~¼) even at 128 chiplets.
+        assert!(last.fabric_fraction < 0.25);
+        // Fraction grows with scale (MZI count is quadratic).
+        assert!(rows[0].fabric_fraction < rows[3].fabric_fraction);
+    }
+}

@@ -1,0 +1,143 @@
+//! Computation energy models (paper §5.3, Fig. 12b/c).
+//!
+//! Two competitors:
+//!
+//! * **Electrical MAC unit** — the 8-bit approximate multiplier of [13]:
+//!   0.75 mW at 2.5 GHz. The paper's quoted 554 pJ for a 16×16×8-vector
+//!   product pins the effective energy at 0.2705 pJ/MAC.
+//! * **Flumen MZIM** — one `N×N` matrix product per fabric pass with `p`
+//!   input vectors on `p` wavelengths. Energy =
+//!   `t_op · (N²·P_phase-DAC)  +  p · (N·E_conv + t_op·P_laser(N))`, where
+//!   `t_op` is the 6 ns partition programming plus the 5 GHz streaming
+//!   time, and laser power grows exponentially with mesh depth.
+//!
+//! The three free constants (`P_PHASE_DAC_MW`, `E_CONV_PJ`,
+//! `LASER_BASE_MW`/`COMPUTE_MZI_LOSS_DB`) are fitted to the six §5.3
+//! operating points; four land within 2 % and the 8×8 points within ~2×
+//! (see EXPERIMENTS.md for the paper-vs-measured table).
+
+/// Electrical MAC energy, pJ per multiply-accumulate (derived from the
+/// paper's 554 pJ @ 16×16×8 point).
+pub const ELEC_MAC_PJ: f64 = 554.0 / 2048.0;
+
+/// Static power of one MZI phase-shifter DAC, mW (fitted).
+pub const P_PHASE_DAC_MW: f64 = 0.0153;
+/// Modulation + conversion energy per analog sample, pJ (fitted).
+pub const E_CONV_PJ: f64 = 0.3;
+/// Laser scaling prefactor (receiver floor / wall-plug efficiency), mW.
+pub const LASER_BASE_MW: f64 = 0.084;
+/// Effective per-MZI insertion loss on the compute path, dB (low-loss
+/// assumption for the fitted model).
+pub const COMPUTE_MZI_LOSS_DB: f64 = 0.202;
+/// Partition programming (switch) time, ns (Table 1).
+pub const SWITCH_NS: f64 = 6.0;
+/// Input modulation rate, GHz (Table 1).
+pub const MOD_GHZ: f64 = 5.0;
+/// Wavelengths available for computation (Table 1).
+pub const COMPUTE_LAMBDAS: usize = 8;
+
+/// Energy of an `n×n` matrix times `p` input vectors on the electrical
+/// MAC unit, pJ.
+pub fn electrical_matmul_pj(n: usize, p: usize) -> f64 {
+    (n * n * p) as f64 * ELEC_MAC_PJ
+}
+
+/// Fabric occupancy for one `n×n × p`-vector product, ns.
+pub fn flumen_op_time_ns(p: usize) -> f64 {
+    let passes = p.div_ceil(COMPUTE_LAMBDAS).max(1);
+    SWITCH_NS + passes as f64 / MOD_GHZ
+}
+
+/// Laser wall-plug power per compute wavelength for an `n`-input
+/// partition, mW.
+pub fn flumen_laser_mw(n: usize) -> f64 {
+    let loss_db = (2 * n + 1) as f64 * COMPUTE_MZI_LOSS_DB;
+    LASER_BASE_MW * 10f64.powf(loss_db / 10.0)
+}
+
+/// Energy of an `n×n` matrix times `p` vectors on an `n`-input Flumen
+/// partition, pJ.
+pub fn flumen_matmul_pj(n: usize, p: usize) -> f64 {
+    let t = flumen_op_time_ns(p);
+    let static_pj = t * (n * n) as f64 * P_PHASE_DAC_MW;
+    let per_vec_pj = n as f64 * E_CONV_PJ + t * flumen_laser_mw(n);
+    static_pj + p as f64 * per_vec_pj
+}
+
+/// Energy per MAC for the Flumen fabric, pJ (Fig. 12c).
+pub fn flumen_mac_pj(n: usize, p: usize) -> f64 {
+    flumen_matmul_pj(n, p) / (n * n * p) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(measured: f64, paper: f64) -> f64 {
+        (measured - paper).abs() / paper
+    }
+
+    #[test]
+    fn electrical_anchor_points() {
+        // §5.3: 69.2 pJ @ 8×8×4 and 554 pJ @ 16×16×8.
+        assert!(rel_err(electrical_matmul_pj(8, 4), 69.2) < 0.01);
+        assert!(rel_err(electrical_matmul_pj(16, 8), 554.0) < 0.001);
+    }
+
+    #[test]
+    fn flumen_fitted_points() {
+        // 16×16×8: paper 82 pJ.
+        assert!(rel_err(flumen_matmul_pj(16, 8), 82.0) < 0.05, "{}", flumen_matmul_pj(16, 8));
+        // 64×64: paper 0.62 / 1.32 / 2.24 nJ for 1 / 4 / 8 MVMs.
+        assert!(rel_err(flumen_matmul_pj(64, 1), 620.0) < 0.05, "{}", flumen_matmul_pj(64, 1));
+        assert!(rel_err(flumen_matmul_pj(64, 4), 1320.0) < 0.05, "{}", flumen_matmul_pj(64, 4));
+        assert!(rel_err(flumen_matmul_pj(64, 8), 2240.0) < 0.05, "{}", flumen_matmul_pj(64, 8));
+    }
+
+    #[test]
+    fn flumen_beats_electrical_at_paper_points() {
+        // Paper ratios: 2× @ (8,4), ~7× @ (16,8), 1.8/3.4/4.0× @ 64.
+        for (n, p, min_ratio) in [
+            (8usize, 4usize, 1.8f64),
+            (8, 8, 3.0),
+            (16, 8, 6.0),
+            (64, 1, 1.6),
+            (64, 4, 3.0),
+            (64, 8, 3.5),
+        ] {
+            let ratio = electrical_matmul_pj(n, p) / flumen_matmul_pj(n, p);
+            assert!(ratio > min_ratio, "({n},{p}): ratio {ratio:.2}");
+        }
+    }
+
+    #[test]
+    fn advantage_grows_with_vectors() {
+        let r1 = electrical_matmul_pj(16, 1) / flumen_matmul_pj(16, 1);
+        let r8 = electrical_matmul_pj(16, 8) / flumen_matmul_pj(16, 8);
+        assert!(r8 > r1);
+    }
+
+    #[test]
+    fn mac_energy_decreases_with_size_and_wavelengths() {
+        // Fig. 12c: more parallelism amortizes the static DAC power.
+        assert!(flumen_mac_pj(16, 8) < flumen_mac_pj(8, 8));
+        assert!(flumen_mac_pj(8, 8) < flumen_mac_pj(8, 1));
+        assert!(flumen_mac_pj(32, 8) < flumen_mac_pj(16, 8));
+    }
+
+    #[test]
+    fn flumen_energy_monotone_in_work() {
+        for n in [4usize, 8, 16, 32, 64] {
+            for p in 1..8 {
+                assert!(flumen_matmul_pj(n, p + 1) > flumen_matmul_pj(n, p));
+            }
+        }
+    }
+
+    #[test]
+    fn op_time_includes_extra_passes() {
+        assert!((flumen_op_time_ns(8) - 6.2).abs() < 1e-12);
+        assert!((flumen_op_time_ns(16) - 6.4).abs() < 1e-12);
+        assert!((flumen_op_time_ns(1) - 6.2).abs() < 1e-12);
+    }
+}

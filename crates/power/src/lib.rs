@@ -1,0 +1,29 @@
+//! # flumen-power
+//!
+//! Energy, power and area models for the Flumen reproduction — the
+//! McPAT + device-table substitute.
+//!
+//! * [`compute`] — the Fig. 12b/c computation-energy models (electrical
+//!   MAC unit vs Flumen MZIM), fitted to the paper's §5.3 operating
+//!   points.
+//! * [`area`] — the §5.1 area model (endpoints, fabric, controller,
+//!   16→128 chiplet scaling).
+//! * [`system_energy`](crate::system_energy()) — prices a full-system run
+//!   (activity counts + network stats) into the per-component breakdown of
+//!   Fig. 13, with [`NopKind`] selecting the network energy model.
+//!
+//! Laser-power scaling versus device losses (Fig. 12a) lives in
+//! `flumen_photonics::loss`, next to the loss models it depends on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod compute;
+mod link_budget;
+mod system_energy;
+
+pub use link_budget::{flumen_endpoint_budget, optbus_endpoint_budget, LinkPowerBudget};
+pub use system_energy::{
+    mzim_compute_energy_j, network_energy_j, system_energy, EnergyBreakdown, EnergyParams, NopKind,
+};

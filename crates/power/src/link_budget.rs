@@ -1,0 +1,116 @@
+//! Itemized photonic link power budget (per endpoint).
+//!
+//! The §5.2 network-energy results hinge on the static power envelope of
+//! each photonic option; this module derives those envelopes from the
+//! Table 2 device constants so the calibration in `EnergyParams` is
+//! auditable component by component.
+
+use flumen_photonics::{loss, DeviceParams};
+
+/// Per-endpoint power itemization for a WDM photonic link, mW.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPowerBudget {
+    /// Wavelengths carried.
+    pub lambdas: usize,
+    /// Laser wall-plug power across all wavelengths.
+    pub laser_mw: f64,
+    /// MRR thermal tuning (modulator + demux ring per λ).
+    pub tuning_mw: f64,
+    /// Modulator drive + driver power.
+    pub modulation_mw: f64,
+    /// Receive chain: TIAs.
+    pub tia_mw: f64,
+    /// Serializers/deserializers.
+    pub serdes_mw: f64,
+}
+
+impl LinkPowerBudget {
+    /// Total per-endpoint power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.laser_mw + self.tuning_mw + self.modulation_mw + self.tia_mw + self.serdes_mw
+    }
+}
+
+/// The budget for one endpoint of a `k`-endpoint Flumen fabric carrying
+/// `lambdas` wavelengths.
+pub fn flumen_endpoint_budget(k: usize, lambdas: usize, dev: &DeviceParams) -> LinkPowerBudget {
+    let per_lambda_laser = loss::flumen_laser_power_mw(k, lambdas, dev);
+    budget(lambdas, per_lambda_laser, dev)
+}
+
+/// The budget for one endpoint of a `k`-node optical bus carrying
+/// `lambdas` wavelengths — note the loss-driven laser term.
+pub fn optbus_endpoint_budget(k: usize, lambdas: usize, dev: &DeviceParams) -> LinkPowerBudget {
+    let per_lambda_laser = loss::optbus_laser_power_mw(k, lambdas, dev);
+    budget(lambdas, per_lambda_laser, dev)
+}
+
+fn budget(lambdas: usize, per_lambda_laser_mw: f64, dev: &DeviceParams) -> LinkPowerBudget {
+    let l = lambdas as f64;
+    LinkPowerBudget {
+        lambdas,
+        laser_mw: l * per_lambda_laser_mw,
+        // One modulating ring at TX and one demux ring at RX per λ.
+        tuning_mw: 2.0 * l * dev.mrr_thermal_tuning_mw,
+        modulation_mw: l * (dev.mrr_modulation_mw + dev.mrr_driver_mw),
+        tia_mw: l * dev.tia_power_uw / 1000.0,
+        serdes_mw: l * dev.serdes_power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let d = DeviceParams::paper();
+        let b = flumen_endpoint_budget(16, 64, &d);
+        let sum = b.laser_mw + b.tuning_mw + b.modulation_mw + b.tia_mw + b.serdes_mw;
+        assert!((b.total_mw() - sum).abs() < 1e-12);
+        assert_eq!(b.lambdas, 64);
+    }
+
+    #[test]
+    fn tuning_dominates_flumen_at_64_lambdas() {
+        // 128 rings × 1 mW of thermal tuning is the endpoint's biggest
+        // line item on the low-loss Flumen path.
+        let d = DeviceParams::paper();
+        let b = flumen_endpoint_budget(16, 64, &d);
+        assert!((b.tuning_mw - 128.0).abs() < 1e-9);
+        assert!(b.tuning_mw > b.laser_mw);
+        assert!(b.tuning_mw > b.modulation_mw);
+    }
+
+    #[test]
+    fn optbus_laser_exceeds_flumen_laser() {
+        let d = DeviceParams::paper();
+        let fl = flumen_endpoint_budget(16, 32, &d);
+        let ob = optbus_endpoint_budget(16, 32, &d);
+        assert!(ob.laser_mw > 10.0 * fl.laser_mw, "{} vs {}", ob.laser_mw, fl.laser_mw);
+        // Everything else is identical hardware.
+        assert_eq!(ob.tuning_mw, fl.tuning_mw);
+        assert_eq!(ob.serdes_mw, fl.serdes_mw);
+    }
+
+    #[test]
+    fn budget_scales_linearly_with_lambdas_except_laser() {
+        let d = DeviceParams::paper();
+        let b16 = flumen_endpoint_budget(16, 16, &d);
+        let b32 = flumen_endpoint_budget(16, 32, &d);
+        assert!((b32.tuning_mw / b16.tuning_mw - 2.0).abs() < 1e-9);
+        // Laser grows super-linearly: per-λ power rises with λ count too.
+        assert!(b32.laser_mw > 2.0 * b16.laser_mw);
+    }
+
+    #[test]
+    fn sixteen_node_system_envelope_is_plausible() {
+        // 16 endpoints at 64 λ: the whole-fabric static envelope should
+        // land in the same regime as the §5.2 calibration constants
+        // (a few watts).
+        let d = DeviceParams::paper();
+        let b = flumen_endpoint_budget(16, 64, &d);
+        let system_w = 16.0 * b.total_mw() / 1000.0;
+        assert!(system_w > 1.0 && system_w < 10.0, "{system_w} W");
+    }
+}

@@ -1,0 +1,145 @@
+//! System-level configuration (paper Table 1).
+
+/// Geometry and latency parameters of one cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in core cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Full-system parameters (Table 1 defaults via [`SystemConfig::paper`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Total cores.
+    pub cores: usize,
+    /// Chiplets (network endpoints).
+    pub chiplets: usize,
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// Sustained ops per cycle per core (mechanistic core model).
+    pub ipc: f64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3 slice per chiplet (16 MB total / 16 chiplets).
+    pub l3_slice: CacheConfig,
+    /// DRAM access latency in cycles (charged at the home L3 slice).
+    pub dram_latency: u64,
+    /// Maximum concurrent outstanding remote misses per core (MLP).
+    pub mlp: usize,
+    /// Request packet size in bits (address + command).
+    pub req_bits: u32,
+    /// Reply packet size in bits (cache line + header).
+    pub reply_bits: u32,
+}
+
+impl SystemConfig {
+    /// The paper's 64-core / 16-chiplet configuration.
+    pub fn paper() -> Self {
+        let line = 64;
+        SystemConfig {
+            cores: 64,
+            chiplets: 16,
+            freq_ghz: 2.5,
+            ipc: 2.0,
+            l1i: CacheConfig { size_bytes: 32 << 10, line_bytes: line, ways: 4, latency: 1 },
+            l1d: CacheConfig { size_bytes: 32 << 10, line_bytes: line, ways: 8, latency: 1 },
+            l2: CacheConfig { size_bytes: 512 << 10, line_bytes: line, ways: 8, latency: 4 },
+            l3_slice: CacheConfig { size_bytes: 1 << 20, line_bytes: line, ways: 16, latency: 20 },
+            dram_latency: 120,
+            mlp: 4,
+            req_bits: 128,
+            reply_bits: 64 * 8 + 64,
+        }
+    }
+
+    /// Cores per chiplet.
+    pub fn cores_per_chiplet(&self) -> usize {
+        self.cores / self.chiplets
+    }
+
+    /// The chiplet hosting core `core`.
+    pub fn chiplet_of(&self, core: usize) -> usize {
+        core / self.cores_per_chiplet()
+    }
+
+    /// The home chiplet of a cache line (static address interleaving).
+    pub fn home_of_line(&self, addr: u64) -> usize {
+        ((addr >> 6) % self.chiplets as u64) as usize
+    }
+
+    /// Converts cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table_1() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.chiplets, 16);
+        assert_eq!(c.cores_per_chiplet(), 4);
+        assert_eq!(c.freq_ghz, 2.5);
+        assert_eq!(c.l1i.size_bytes, 32 << 10);
+        assert_eq!(c.l1d.size_bytes, 32 << 10);
+        assert_eq!(c.l2.size_bytes, 512 << 10);
+        // 16 slices × 1 MB = 16 MB shared L3.
+        assert_eq!(c.l3_slice.size_bytes * c.chiplets, 16 << 20);
+    }
+
+    #[test]
+    fn chiplet_mapping() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.chiplet_of(0), 0);
+        assert_eq!(c.chiplet_of(3), 0);
+        assert_eq!(c.chiplet_of(4), 1);
+        assert_eq!(c.chiplet_of(63), 15);
+    }
+
+    #[test]
+    fn home_interleaving_covers_all_chiplets() {
+        let c = SystemConfig::paper();
+        let homes: std::collections::HashSet<usize> =
+            (0..64u64).map(|l| c.home_of_line(l * 64)).collect();
+        assert_eq!(homes.len(), 16);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 4, latency: 1 };
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let c = SystemConfig::paper();
+        assert!((c.cycles_to_seconds(2_500_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,700 @@
+//! The full-system engine: cores, cache hierarchy, and the NoP coupled
+//! cycle by cycle.
+//!
+//! Each core executes its [`CoreTask`] queue against a private L1d/L2 and
+//! the distributed shared L3 (one slice per chiplet, address-interleaved
+//! homes). L2 misses to a remote home become real request/reply packets in
+//! the attached [`Network`], so the interconnect's latency and congestion
+//! feed straight back into core stall time — the same mechanism Sniper +
+//! Booksim coupling provides in the paper's methodology.
+//!
+//! An [`ExternalServer`] hook lets the Flumen runtime (the `flumen` crate)
+//! model the MZIM control unit: cores submit opaque offload requests,
+//! the server schedules them (Algorithm 1) while manipulating the network
+//! (wire reservations), and completion — or rejection with a local-compute
+//! fallback — wakes the core.
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::counts::ActivityCounts;
+use crate::tasks::CoreTask;
+use flumen_noc::{NetStats, Network, Packet};
+use std::collections::{HashMap, VecDeque};
+
+/// Opaque request payload passed from a core to the external server.
+pub type ExternalPayload = [u64; 4];
+
+/// Completion record returned by [`ExternalServer::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExternalOutcome {
+    /// The request tag being completed.
+    pub tag: u64,
+    /// `false` means the request was rejected and the core must run its
+    /// fallback tasks instead.
+    pub accepted: bool,
+}
+
+/// A co-simulated component servicing offload requests (the MZIM control
+/// unit in Flumen-A runs behind this trait).
+pub trait ExternalServer<N: Network> {
+    /// A core submitted a request (arbitration-waveguide message).
+    fn on_request(&mut self, now: u64, core: usize, chiplet: usize, tag: u64, payload: ExternalPayload);
+    /// Advances one cycle; may reserve/release network wires and returns
+    /// any completed requests.
+    fn step(&mut self, now: u64, net: &mut N) -> Vec<ExternalOutcome>;
+    /// Outstanding request count (used for termination detection).
+    fn outstanding(&self) -> usize;
+    /// Folds the server's activity (MZIM energy events) into the run counts.
+    fn drain_counts(&mut self, counts: &mut ActivityCounts);
+}
+
+/// A no-op server that rejects everything instantly; used by the baseline
+/// topologies, where cores always compute locally.
+#[derive(Debug, Default)]
+pub struct NullServer {
+    queue: Vec<u64>,
+}
+
+impl<N: Network> ExternalServer<N> for NullServer {
+    fn on_request(&mut self, _now: u64, _core: usize, _chiplet: usize, tag: u64, _p: ExternalPayload) {
+        self.queue.push(tag);
+    }
+    fn step(&mut self, _now: u64, _net: &mut N) -> Vec<ExternalOutcome> {
+        self.queue.drain(..).map(|tag| ExternalOutcome { tag, accepted: false }).collect()
+    }
+    fn outstanding(&self) -> usize {
+        self.queue.len()
+    }
+    fn drain_counts(&mut self, _counts: &mut ActivityCounts) {}
+}
+
+#[derive(Debug)]
+struct StreamState {
+    ops: u64,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    ri: usize,
+    wi: usize,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    queue: VecDeque<CoreTask>,
+    busy_until: u64,
+    waiting: usize,
+    stream: Option<StreamState>,
+    barrier: Option<u32>,
+}
+
+impl CoreState {
+    fn idle_done(&self) -> bool {
+        self.queue.is_empty() && self.stream.is_none() && self.waiting == 0 && self.barrier.is_none()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ReqKind {
+    RemoteLine { addr: u64, write: bool },
+    Custom { server_cycles: u64, reply_bits: u32 },
+    Writeback { addr: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct ReqInfo {
+    kind: ReqKind,
+    requester_core: usize,
+    src_chiplet: usize,
+}
+
+/// Result of a full-system run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Activity counters for the energy model.
+    pub counts: ActivityCounts,
+    /// Final network statistics.
+    pub net_stats: NetStats,
+    /// Average link utilization sampled every
+    /// [`SystemSim::set_trace_interval`] cycles (empty when disabled).
+    pub utilization_trace: Vec<f64>,
+}
+
+/// The coupled multicore + NoP simulator.
+#[derive(Debug)]
+pub struct SystemSim<N: Network, S: ExternalServer<N>> {
+    cfg: SystemConfig,
+    cores: Vec<CoreState>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Vec<Cache>,
+    net: N,
+    server: S,
+    counts: ActivityCounts,
+    cycle: u64,
+    next_tag: u64,
+    pending_requests: HashMap<u64, ReqInfo>,
+    pending_replies: HashMap<u64, usize>,
+    external_waiting: HashMap<u64, (usize, Vec<CoreTask>)>,
+    server_jobs: Vec<(u64, Packet)>,
+    barrier_counts: HashMap<u32, usize>,
+    trace_interval: u64,
+    trace: Vec<f64>,
+    last_trace_busy: u64,
+}
+
+impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
+    /// Builds a system from per-core task queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks.len() != cfg.cores` or the network endpoint count
+    /// differs from `cfg.chiplets`.
+    pub fn new(cfg: SystemConfig, net: N, server: S, tasks: Vec<Vec<CoreTask>>) -> Self {
+        assert_eq!(tasks.len(), cfg.cores, "one task queue per core");
+        assert_eq!(net.num_nodes(), cfg.chiplets, "network endpoints must equal chiplets");
+        let cores = tasks
+            .into_iter()
+            .map(|q| CoreState {
+                queue: q.into(),
+                busy_until: 0,
+                waiting: 0,
+                stream: None,
+                barrier: None,
+            })
+            .collect();
+        let l1d = (0..cfg.cores).map(|_| Cache::new(&cfg.l1d)).collect();
+        let l2 = (0..cfg.cores).map(|_| Cache::new(&cfg.l2)).collect();
+        let l3 = (0..cfg.chiplets).map(|_| Cache::new(&cfg.l3_slice)).collect();
+        SystemSim {
+            cfg,
+            cores,
+            l1d,
+            l2,
+            l3,
+            net,
+            server,
+            counts: ActivityCounts::default(),
+            cycle: 0,
+            next_tag: 1,
+            pending_requests: HashMap::new(),
+            pending_replies: HashMap::new(),
+            external_waiting: HashMap::new(),
+            server_jobs: Vec::new(),
+            barrier_counts: HashMap::new(),
+            trace_interval: 0,
+            trace: Vec::new(),
+            last_trace_busy: 0,
+        }
+    }
+
+    /// Enables link-utilization tracing with the given sample window
+    /// (cycles); 0 disables.
+    pub fn set_trace_interval(&mut self, interval: u64) {
+        self.trace_interval = interval;
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Immutable access to the attached network.
+    pub fn network(&self) -> &N {
+        &self.net
+    }
+
+    /// Whether every core has retired its queue and all traffic drained.
+    pub fn finished(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.idle_done() && c.busy_until <= self.cycle)
+            && self.net.pending() == 0
+            && self.server_jobs.is_empty()
+            && self.pending_requests.is_empty()
+            && self.pending_replies.is_empty()
+            && self.server.outstanding() == 0
+    }
+
+    /// Runs until [`SystemSim::finished`] or `max_cycles`, returning the
+    /// result. Call once per constructed system.
+    pub fn run(mut self, max_cycles: u64) -> RunResult {
+        while !self.finished() && self.cycle < max_cycles {
+            self.step();
+        }
+        let cycles = self.cycle;
+        self.server.drain_counts(&mut self.counts);
+        RunResult {
+            cycles,
+            counts: self.counts,
+            net_stats: self.net.stats().clone(),
+            utilization_trace: self.trace,
+        }
+    }
+
+    /// Advances the whole system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. Cores.
+        for c in 0..self.cores.len() {
+            self.step_core(c, now);
+        }
+
+        // 2. External server (MZIM control unit).
+        let outcomes = self.server.step(now, &mut self.net);
+        for o in outcomes {
+            if let Some((core, fallback)) = self.external_waiting.remove(&o.tag) {
+                self.cores[core].waiting = self.cores[core].waiting.saturating_sub(1);
+                if !o.accepted {
+                    for t in fallback.into_iter().rev() {
+                        self.cores[core].queue.push_front(t);
+                    }
+                }
+            }
+        }
+
+        // 3. Due server replies (home-node L3/DRAM service completion).
+        let mut j = 0;
+        while j < self.server_jobs.len() {
+            if self.server_jobs[j].0 <= now {
+                let (_, pkt) = self.server_jobs.swap_remove(j);
+                self.counts.nop_packets += 1;
+                self.net.inject(pkt);
+            } else {
+                j += 1;
+            }
+        }
+
+        // 4. Network.
+        let deliveries = self.net.step();
+        for d in deliveries {
+            self.handle_delivery(d.packet, now);
+        }
+
+        // 5. Tracing.
+        if self.trace_interval > 0 && now > 0 && now.is_multiple_of(self.trace_interval) {
+            let busy: u64 = self.net.stats().link_busy.iter().sum();
+            let links = self.net.stats().link_busy.len().max(1) as u64;
+            let delta = busy - self.last_trace_busy;
+            self.last_trace_busy = busy;
+            self.trace
+                .push(delta as f64 / (self.trace_interval as f64 * links as f64));
+        }
+
+        self.cycle += 1;
+    }
+
+    fn step_core(&mut self, c: usize, now: u64) {
+        if self.cores[c].waiting > 0 || self.cores[c].barrier.is_some() || self.cores[c].busy_until > now
+        {
+            return;
+        }
+        if self.cores[c].stream.is_some() {
+            self.continue_stream(c, now);
+            return;
+        }
+        let Some(task) = self.cores[c].queue.pop_front() else { return };
+        match task {
+            CoreTask::Compute { ops } => {
+                let dur = (ops as f64 / self.cfg.ipc).ceil() as u64;
+                self.cores[c].busy_until = now + dur;
+                self.counts.core_ops += ops;
+                self.counts.l1i_accesses += ops;
+                self.counts.core_busy_cycles += dur;
+            }
+            CoreTask::Stream { ops, reads, writes } => {
+                self.cores[c].stream = Some(StreamState { ops, reads, writes, ri: 0, wi: 0 });
+                self.continue_stream(c, now);
+            }
+            CoreTask::NetRequest { dst_chiplet, req_bits, reply_bits, server_cycles } => {
+                let tag = self.fresh_tag();
+                let chiplet = self.cfg.chiplet_of(c);
+                let mut pkt = Packet::new(tag, chiplet, dst_chiplet, req_bits, now);
+                pkt.tag = tag;
+                self.pending_requests.insert(
+                    tag,
+                    ReqInfo {
+                        kind: ReqKind::Custom { server_cycles, reply_bits },
+                        requester_core: c,
+                        src_chiplet: chiplet,
+                    },
+                );
+                self.cores[c].waiting = 1;
+                self.counts.nop_packets += 1;
+                self.net.inject(pkt);
+            }
+            CoreTask::NetSend { dst_chiplets, bits } => {
+                let tag = self.fresh_tag();
+                let chiplet = self.cfg.chiplet_of(c);
+                let dests: Vec<usize> =
+                    dst_chiplets.into_iter().filter(|&d| d != chiplet).collect();
+                if !dests.is_empty() {
+                    let mut pkt = Packet::multicast(tag, chiplet, &dests, bits, now);
+                    pkt.tag = tag;
+                    self.counts.nop_packets += 1;
+                    self.net.inject(pkt);
+                }
+            }
+            CoreTask::Barrier { id } => {
+                let count = self.barrier_counts.entry(id).or_insert(0);
+                *count += 1;
+                if *count == self.cfg.cores {
+                    for core in &mut self.cores {
+                        if core.barrier == Some(id) {
+                            core.barrier = None;
+                        }
+                    }
+                } else {
+                    self.cores[c].barrier = Some(id);
+                }
+            }
+            CoreTask::External { payload, fallback } => {
+                let tag = self.fresh_tag();
+                let chiplet = self.cfg.chiplet_of(c);
+                self.cores[c].waiting = 1;
+                self.counts.offload_requests += 1;
+                self.external_waiting.insert(tag, (c, fallback));
+                self.server.on_request(now, c, chiplet, tag, payload);
+            }
+        }
+    }
+
+    /// Processes stream accesses until the core blocks on remote misses or
+    /// the stream ends.
+    fn continue_stream(&mut self, c: usize, now: u64) {
+        let mut stream = self.cores[c].stream.take().expect("stream in progress");
+        let mut local_cycles: u64 = 0;
+        let mut issued = 0usize;
+
+        while issued < self.cfg.mlp {
+            let (addr, write) = if stream.ri < stream.reads.len() {
+                let a = stream.reads[stream.ri];
+                stream.ri += 1;
+                (a, false)
+            } else if stream.wi < stream.writes.len() {
+                let a = stream.writes[stream.wi];
+                stream.wi += 1;
+                (a, true)
+            } else {
+                break;
+            };
+            match self.process_access(c, addr, write, now) {
+                AccessOutcome::Local(lat) => local_cycles += lat,
+                AccessOutcome::Remote => issued += 1,
+            }
+        }
+
+        let finished = stream.ri >= stream.reads.len() && stream.wi >= stream.writes.len();
+        if finished && issued == 0 {
+            let ops = stream.ops;
+            let dur = local_cycles + (ops as f64 / self.cfg.ipc).ceil() as u64;
+            self.cores[c].busy_until = now + dur;
+            self.counts.core_ops += ops;
+            self.counts.l1i_accesses += ops;
+            self.counts.core_busy_cycles += dur;
+        } else {
+            self.cores[c].stream = Some(stream);
+            self.cores[c].busy_until = now + local_cycles;
+            self.cores[c].waiting = issued;
+        }
+    }
+
+    fn process_access(&mut self, c: usize, addr: u64, write: bool, now: u64) -> AccessOutcome {
+        let chiplet = self.cfg.chiplet_of(c);
+        self.counts.l1d_accesses += 1;
+        let r1 = self.l1d[c].access(addr, write);
+        if r1.hit {
+            return AccessOutcome::Local(0);
+        }
+        self.counts.l1d_misses += 1;
+        if write {
+            // Posted store: the store buffer hides the miss; the line is
+            // allocated dirty and the data reaches its home later via the
+            // write-back path (dirty evictions below).
+            if let Some(victim) = r1.dirty_evict {
+                self.counts.l2_accesses += 1;
+                let ev = self.l2[c].access(victim, true);
+                if let Some(v2) = ev.dirty_evict {
+                    self.handle_l2_eviction(chiplet, v2, now);
+                }
+            }
+            return AccessOutcome::Local(0);
+        }
+        if let Some(victim) = r1.dirty_evict {
+            self.counts.l2_accesses += 1;
+            let ev = self.l2[c].access(victim, true);
+            if let Some(v2) = ev.dirty_evict {
+                self.handle_l2_eviction(chiplet, v2, now);
+            }
+        }
+
+        self.counts.l2_accesses += 1;
+        let mut lat = self.cfg.l2.latency;
+        let r2 = self.l2[c].access(addr, false);
+        if r2.hit {
+            return AccessOutcome::Local(lat);
+        }
+        self.counts.l2_misses += 1;
+        if let Some(victim) = r2.dirty_evict {
+            self.handle_l2_eviction(chiplet, victim, now);
+        }
+
+        let home = self.cfg.home_of_line(addr);
+        if home == chiplet {
+            lat += self.l3_access(home, addr, false);
+            AccessOutcome::Local(lat)
+        } else {
+            let tag = self.fresh_tag();
+            let mut pkt = Packet::new(tag, chiplet, home, self.cfg.req_bits, now);
+            pkt.tag = tag;
+            self.pending_requests.insert(
+                tag,
+                ReqInfo {
+                    kind: ReqKind::RemoteLine { addr, write },
+                    requester_core: c,
+                    src_chiplet: chiplet,
+                },
+            );
+            self.counts.nop_packets += 1;
+            self.net.inject(pkt);
+            AccessOutcome::Remote
+        }
+    }
+
+    /// Accesses an L3 slice, returning the latency incurred (including
+    /// DRAM on miss).
+    fn l3_access(&mut self, slice: usize, addr: u64, write: bool) -> u64 {
+        self.counts.l3_accesses += 1;
+        let mut lat = self.cfg.l3_slice.latency;
+        let r = self.l3[slice].access(addr, write);
+        if !r.hit {
+            self.counts.l3_misses += 1;
+            self.counts.dram_accesses += 1;
+            lat += self.cfg.dram_latency;
+        }
+        if r.dirty_evict.is_some() {
+            self.counts.dram_accesses += 1;
+        }
+        lat
+    }
+
+    fn handle_l2_eviction(&mut self, chiplet: usize, victim_addr: u64, now: u64) {
+        let home = self.cfg.home_of_line(victim_addr);
+        if home == chiplet {
+            self.l3_access(home, victim_addr, true);
+        } else {
+            let tag = self.fresh_tag();
+            let mut pkt = Packet::new(tag, chiplet, home, self.cfg.reply_bits, now);
+            pkt.tag = tag;
+            self.pending_requests.insert(
+                tag,
+                ReqInfo {
+                    kind: ReqKind::Writeback { addr: victim_addr },
+                    requester_core: usize::MAX,
+                    src_chiplet: chiplet,
+                },
+            );
+            self.counts.nop_packets += 1;
+            self.net.inject(pkt);
+        }
+    }
+
+    fn handle_delivery(&mut self, pkt: Packet, now: u64) {
+        if let Some(info) = self.pending_requests.remove(&pkt.tag) {
+            match info.kind {
+                ReqKind::RemoteLine { addr, write } => {
+                    let service = self.l3_access(pkt.dst, addr, write);
+                    let mut reply =
+                        Packet::new(pkt.tag, pkt.dst, info.src_chiplet, self.cfg.reply_bits, now);
+                    reply.tag = pkt.tag;
+                    self.pending_replies.insert(pkt.tag, info.requester_core);
+                    self.server_jobs.push((now + service, reply));
+                }
+                ReqKind::Custom { server_cycles, reply_bits } => {
+                    let mut reply =
+                        Packet::new(pkt.tag, pkt.dst, info.src_chiplet, reply_bits, now);
+                    reply.tag = pkt.tag;
+                    self.pending_replies.insert(pkt.tag, info.requester_core);
+                    self.server_jobs.push((now + server_cycles, reply));
+                }
+                ReqKind::Writeback { addr } => {
+                    self.l3_access(pkt.dst, addr, true);
+                }
+            }
+        } else if let Some(core) = self.pending_replies.remove(&pkt.tag) {
+            self.cores[core].waiting = self.cores[core].waiting.saturating_sub(1);
+        }
+        // Fire-and-forget sends (NetSend) fall through: nothing to do.
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AccessOutcome {
+    Local(u64),
+    Remote,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flumen_noc::MzimCrossbar;
+
+    fn tiny_cfg() -> SystemConfig {
+        SystemConfig { cores: 4, chiplets: 4, ..SystemConfig::paper() }
+    }
+
+    fn net4() -> MzimCrossbar {
+        MzimCrossbar::new(4, flumen_noc::CrossbarConfig::default()).unwrap()
+    }
+
+    fn empty_tasks(n: usize) -> Vec<Vec<CoreTask>> {
+        (0..n).map(|_| Vec::new()).collect()
+    }
+
+    #[test]
+    fn empty_system_finishes_immediately() {
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), empty_tasks(4));
+        let r = sim.run(1000);
+        assert!(r.cycles < 5);
+        assert_eq!(r.counts.core_ops, 0);
+    }
+
+    #[test]
+    fn compute_task_advances_time() {
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Compute { ops: 1000 });
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r = sim.run(10_000);
+        // 1000 ops at IPC 2 = 500 cycles.
+        assert!(r.cycles >= 500 && r.cycles < 600, "{}", r.cycles);
+        assert_eq!(r.counts.core_ops, 1000);
+    }
+
+    #[test]
+    fn local_stream_hits_after_warmup() {
+        let cfg = tiny_cfg();
+        // Lines homed on chiplet 0 (core 0's own chiplet): addr % (4*64) == 0.
+        let addrs: Vec<u64> = (0..16u64).map(|i| i * 4 * 64).collect();
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs.clone(), writes: vec![] });
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        assert_eq!(r.counts.l1d_accesses, 32);
+        assert_eq!(r.counts.l1d_misses, 16, "second pass must hit in L1");
+        assert_eq!(r.counts.nop_packets, 0, "local homes produce no traffic");
+    }
+
+    #[test]
+    fn remote_stream_generates_noc_traffic() {
+        let cfg = tiny_cfg();
+        // Lines homed on chiplet 1, accessed by core 0 (chiplet 0).
+        let addrs: Vec<u64> = (0..8u64).map(|i| 64 + i * 4 * 64).collect();
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        assert_eq!(r.counts.l2_misses, 8);
+        // 8 requests + 8 replies.
+        assert_eq!(r.counts.nop_packets, 16);
+        assert!(r.net_stats.delivered >= 16);
+        assert!(r.cycles > 20, "network round trips take time");
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_cores() {
+        let mut tasks = empty_tasks(4);
+        // Core 0 computes a long block before the barrier; others arrive
+        // instantly but must wait.
+        tasks[0].push(CoreTask::Compute { ops: 2000 });
+        for t in tasks.iter_mut() {
+            t.push(CoreTask::Barrier { id: 1 });
+            t.push(CoreTask::Compute { ops: 10 });
+        }
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        // All finish shortly after core 0's 1000 cycles.
+        assert!(r.cycles >= 1000 && r.cycles < 1200, "{}", r.cycles);
+    }
+
+    #[test]
+    fn net_request_round_trip() {
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::NetRequest {
+            dst_chiplet: 3,
+            req_bits: 128,
+            reply_bits: 512,
+            server_cycles: 50,
+        });
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        assert!(r.cycles >= 50, "{}", r.cycles);
+        assert_eq!(r.counts.nop_packets, 2);
+    }
+
+    #[test]
+    fn external_rejection_runs_fallback() {
+        let mut tasks = empty_tasks(4);
+        tasks[1].push(CoreTask::External {
+            payload: [0; 4],
+            fallback: vec![CoreTask::Compute { ops: 500 }],
+        });
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        // NullServer rejects; the fallback compute runs (500/2 = 250 cycles).
+        assert_eq!(r.counts.core_ops, 500);
+        assert!(r.cycles >= 250);
+        assert_eq!(r.counts.offload_requests, 1);
+    }
+
+    #[test]
+    fn netsend_multicast_counts_once() {
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::NetSend { dst_chiplets: vec![1, 2, 3], bits: 1024 });
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r = sim.run(100_000);
+        assert_eq!(r.counts.nop_packets, 1);
+        assert_eq!(r.net_stats.delivered, 3);
+    }
+
+    #[test]
+    fn writes_produce_writeback_traffic() {
+        let cfg = tiny_cfg();
+        // Write enough remote-homed lines to overflow L1+L2 sets and force
+        // dirty evictions toward a remote home.
+        let addrs: Vec<u64> = (0..40_000u64).map(|i| 64 + i * 4 * 64).collect();
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: vec![], writes: addrs });
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(10_000_000);
+        assert!(r.counts.dram_accesses > 0);
+        // Writebacks (fire-and-forget) on top of request/reply pairs.
+        assert!(r.counts.nop_packets as f64 > 2.0 * r.counts.l2_misses as f64 * 0.9);
+    }
+
+    #[test]
+    fn utilization_trace_records_windows() {
+        let cfg = tiny_cfg();
+        let addrs: Vec<u64> = (0..64u64).map(|i| 64 + i * 4 * 64).collect();
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        let mut sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        sim.set_trace_interval(50);
+        let r = sim.run(1_000_000);
+        assert!(!r.utilization_trace.is_empty());
+        assert!(r.utilization_trace.iter().any(|&u| u > 0.0));
+        assert!(r.utilization_trace.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+}

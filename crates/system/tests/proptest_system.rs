@@ -1,0 +1,139 @@
+//! Property-based tests for the system engine: work conservation, cache
+//! sanity and timing monotonicity under random task mixes.
+
+use flumen_noc::{CrossbarConfig, MzimCrossbar};
+use flumen_system::{Cache, CacheConfig, CoreTask, NullServer, SystemConfig, SystemSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_sys() -> SystemConfig {
+    SystemConfig { cores: 8, chiplets: 4, ..SystemConfig::paper() }
+}
+
+fn net4() -> MzimCrossbar {
+    MzimCrossbar::new(4, CrossbarConfig::default()).unwrap()
+}
+
+fn random_tasks(seed: u64, cores: usize) -> (Vec<Vec<CoreTask>>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks: Vec<Vec<CoreTask>> = vec![Vec::new(); cores];
+    let mut total_ops = 0u64;
+    for q in tasks.iter_mut() {
+        for _ in 0..rng.gen_range(0..4) {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let ops = rng.gen_range(1..2_000u64);
+                    total_ops += ops;
+                    q.push(CoreTask::Compute { ops });
+                }
+                1 => {
+                    let ops = rng.gen_range(0..500u64);
+                    total_ops += ops;
+                    let reads: Vec<u64> =
+                        (0..rng.gen_range(1..40u64)).map(|_| rng.gen_range(0..1u64 << 20) & !63).collect();
+                    q.push(CoreTask::Stream { ops, reads, writes: vec![] });
+                }
+                _ => {
+                    q.push(CoreTask::NetRequest {
+                        dst_chiplet: rng.gen_range(0..4),
+                        req_bits: 128,
+                        reply_bits: 576,
+                        server_cycles: rng.gen_range(1..50),
+                    });
+                }
+            }
+        }
+    }
+    (tasks, total_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random task mixes always terminate, and the engine accounts every
+    /// compute op exactly once.
+    #[test]
+    fn random_mixes_terminate_and_conserve_ops(seed in any::<u32>()) {
+        let cfg = small_sys();
+        let (tasks, total_ops) = random_tasks(seed as u64, cfg.cores);
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(5_000_000);
+        prop_assert!(r.cycles < 5_000_000, "must finish");
+        prop_assert_eq!(r.counts.core_ops, total_ops);
+    }
+
+    /// Doubling the compute work never makes the run shorter.
+    #[test]
+    fn more_work_is_never_faster(seed in any::<u32>(), ops in 100u64..5_000) {
+        let cfg = small_sys();
+        let _ = seed;
+        let mk = |mult: u64| {
+            let mut tasks: Vec<Vec<CoreTask>> = vec![Vec::new(); 8];
+            tasks[0].push(CoreTask::Compute { ops: ops * mult });
+            SystemSim::new(small_sys(), net4(), NullServer::default(), tasks).run(10_000_000)
+        };
+        let _ = cfg;
+        let one = mk(1);
+        let two = mk(2);
+        prop_assert!(two.cycles >= one.cycles);
+    }
+
+    /// Cache accesses and misses are consistent (misses ≤ accesses; a
+    /// second identical pass only hits if it fits).
+    #[test]
+    fn cache_miss_accounting(seed in any::<u32>(), lines in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let cfg = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4, latency: 1 };
+        let mut cache = Cache::new(&cfg);
+        let addrs: Vec<u64> = (0..lines).map(|_| rng.gen_range(0..1u64 << 16) & !63).collect();
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        prop_assert!(cache.misses <= cache.accesses);
+        let mut uniq = addrs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert!(cache.misses as usize >= uniq.len().min(1), "cold misses at least unique-ish");
+        // Working set within capacity ⇒ second pass all hits.
+        if uniq.len() <= 16 {
+            let before = cache.misses;
+            for &a in &addrs {
+                cache.access(a, false);
+            }
+            prop_assert_eq!(cache.misses, before, "small working set must re-hit");
+        }
+    }
+
+    /// Barriers never deadlock when every core has one.
+    #[test]
+    fn barriers_always_release(seed in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let cfg = small_sys();
+        let mut tasks: Vec<Vec<CoreTask>> = vec![Vec::new(); cfg.cores];
+        for q in tasks.iter_mut() {
+            q.push(CoreTask::Compute { ops: rng.gen_range(1..3_000) });
+            q.push(CoreTask::Barrier { id: 1 });
+            q.push(CoreTask::Compute { ops: 10 });
+        }
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(5_000_000);
+        prop_assert!(r.cycles < 5_000_000);
+    }
+
+    /// Remote traffic count: every remote read produces a request and a
+    /// reply packet.
+    #[test]
+    fn remote_reads_pair_request_reply(lines in 1usize..64) {
+        let cfg = small_sys();
+        // Addresses homed on chiplet 1, read by core 0 (chiplet 0),
+        // spaced to avoid L1/L2 hits.
+        let addrs: Vec<u64> = (0..lines as u64).map(|i| 64 + i * 4 * 64).collect();
+        let mut tasks: Vec<Vec<CoreTask>> = vec![Vec::new(); cfg.cores];
+        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        let r = sim.run(5_000_000);
+        prop_assert_eq!(r.counts.nop_packets as usize, 2 * lines);
+        prop_assert_eq!(r.counts.l2_misses as usize, lines);
+    }
+}

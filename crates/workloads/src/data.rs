@@ -1,0 +1,156 @@
+//! Deterministic synthetic inputs.
+//!
+//! The paper's benchmarks use real images and trained 8-bit-quantized DNN
+//! weights; neither changes the *behaviour* the evaluation measures (op
+//! counts, reuse, traffic), which depends only on tensor shapes. We
+//! substitute seeded pseudo-random data with realistic magnitudes and
+//! quantize to 8 bits like the paper's models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An H×W×C image with `f64` samples in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Channels.
+    pub channels: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Generates a smooth synthetic image (sum of sinusoids plus seeded
+    /// noise), 8-bit quantized like a decoded 24-bit colour photo.
+    pub fn synthetic(height: usize, width: usize, channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(height * width * channels);
+        let (fx, fy): (f64, f64) = (rng.gen_range(0.01..0.1), rng.gen_range(0.01..0.1));
+        for c in 0..channels {
+            let phase = c as f64 * 1.7;
+            for y in 0..height {
+                for x in 0..width {
+                    let v = 0.5
+                        + 0.3 * ((x as f64 * fx + phase).sin() * (y as f64 * fy).cos())
+                        + 0.1 * rng.gen_range(-1.0..1.0);
+                    data.push(quantize_u8(v.clamp(0.0, 1.0)));
+                }
+            }
+        }
+        Image { height, width, channels, data }
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    pub fn get(&self, y: usize, x: usize, c: usize) -> f64 {
+        assert!(y < self.height && x < self.width && c < self.channels);
+        self.data[c * self.height * self.width + y * self.width + x]
+    }
+
+    /// Pixel with zero padding outside the image.
+    pub fn get_padded(&self, y: isize, x: isize, c: usize) -> f64 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0.0
+        } else {
+            self.get(y as usize, x as usize, c)
+        }
+    }
+
+    /// Total samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Quantizes `v ∈ [0,1]` to 8 bits.
+pub fn quantize_u8(v: f64) -> f64 {
+    (v * 255.0).round() / 255.0
+}
+
+/// Quantizes a signed weight to 8 bits over `[-scale, scale]`.
+pub fn quantize_i8(v: f64, scale: f64) -> f64 {
+    (v / scale * 127.0).round().clamp(-127.0, 127.0) / 127.0 * scale
+}
+
+/// Seeded 8-bit-quantized weight tensor with Gaussian-ish distribution,
+/// as in a trained, quantized DNN layer.
+pub fn synthetic_weights(count: usize, scale: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Sum of uniforms ≈ Gaussian; clip to ±scale.
+            let g: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() / 2.0;
+            quantize_i8((g * scale).clamp(-scale, scale), scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_is_deterministic() {
+        let a = Image::synthetic(16, 16, 3, 42);
+        let b = Image::synthetic(16, 16, 3, 42);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(a.get(y, x, 0), b.get(y, x, 0));
+            }
+        }
+        let c = Image::synthetic(16, 16, 3, 43);
+        assert!((0..16).any(|y| a.get(y, 0, 0) != c.get(y, 0, 0)));
+    }
+
+    #[test]
+    fn image_values_in_range() {
+        let img = Image::synthetic(8, 8, 3, 1);
+        assert_eq!(img.len(), 8 * 8 * 3);
+        assert!(!img.is_empty());
+        for y in 0..8 {
+            for x in 0..8 {
+                for c in 0..3 {
+                    let v = img.get(y, x, c);
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let img = Image::synthetic(4, 4, 1, 2);
+        assert_eq!(img.get_padded(-1, 0, 0), 0.0);
+        assert_eq!(img.get_padded(0, 4, 0), 0.0);
+        assert_eq!(img.get_padded(2, 2, 0), img.get(2, 2, 0));
+    }
+
+    #[test]
+    fn quantization_grids() {
+        assert_eq!(quantize_u8(0.5), (0.5f64 * 255.0).round() / 255.0);
+        let q = quantize_i8(0.1, 0.5);
+        assert!((q - 0.1).abs() < 0.5 / 127.0);
+        assert_eq!(quantize_i8(9.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn weights_are_bounded_and_quantized() {
+        let w = synthetic_weights(1000, 0.25, 7);
+        assert!(w.iter().all(|v| v.abs() <= 0.25 + 1e-12));
+        // Should use many distinct quantization levels.
+        let mut distinct: Vec<i64> = w.iter().map(|v| (v / 0.25 * 127.0).round() as i64).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 20);
+    }
+}

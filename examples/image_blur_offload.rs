@@ -1,0 +1,60 @@
+//! Image Blur, end to end: runs the paper's Image Blur benchmark on the
+//! electrical mesh and on Flumen-A (with in-network photonic compute),
+//! then verifies the photonically computed image against the golden CPU
+//! result — both numerically (E-field simulation of the SVD MZIM blocks)
+//! and at the system level (cycles, energy, EDP).
+//!
+//! Run with: `cargo run --release --example image_blur_offload`
+
+use flumen::{run_benchmark, PhotonicExecutor, RuntimeConfig, SystemTopology};
+use flumen_workloads::{Benchmark, ImageBlur};
+
+fn main() {
+    // A smaller image keeps the full E-field verification quick.
+    let bench = ImageBlur::with_size(64, 64, 0xB10B);
+    println!("Image Blur: 64×64 RGB, {} MACs", bench.total_macs());
+
+    // ── numerical path: every patch through the actual photonic model ──
+    let exec = PhotonicExecutor::ideal(4);
+    let results = exec.run_benchmark(&bench, None).expect("photonic execution");
+    assert!(bench.verify(&results, 1e-7), "photonic blur must match golden");
+    println!("photonic E-field execution matches the golden blur (tol 1e-7)");
+
+    let exec8 = PhotonicExecutor::eight_bit(4);
+    let results8 = exec8.run_benchmark(&bench, Some(256)).expect("8-bit execution");
+    let mut max_err = 0.0f64;
+    for (job, res) in bench.jobs().iter().zip(&results8) {
+        let gold = job.golden();
+        for (r, g) in res.iter().zip(gold.iter()) {
+            for (a, b) in r.iter().zip(g.iter()) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+    }
+    println!("8-bit analog model: max |error| = {max_err:.4} (sampled patches)");
+
+    // ── system path: cycles + energy on Mesh vs Flumen-A ──
+    let cfg = RuntimeConfig::paper();
+    let full = ImageBlur::paper();
+    println!("\nfull-size system simulation (256×256×3):");
+    let mesh = run_benchmark(&full, SystemTopology::Mesh, &cfg);
+    let fa = run_benchmark(&full, SystemTopology::FlumenA, &cfg);
+    println!(
+        "  mesh:     {:>9} cycles  {:>8.1} µJ",
+        mesh.cycles,
+        mesh.total_energy_j() * 1e6
+    );
+    println!(
+        "  flumen-a: {:>9} cycles  {:>8.1} µJ   ({} offload requests, {} photonic MVMs)",
+        fa.cycles,
+        fa.total_energy_j() * 1e6,
+        fa.counts.offload_requests,
+        fa.counts.mzim_mvms
+    );
+    println!(
+        "  speedup {:.2}x   energy {:.2}x   edp {:.2}x",
+        mesh.cycles as f64 / fa.cycles as f64,
+        mesh.total_energy_j() / fa.total_energy_j(),
+        mesh.edp() / fa.edp()
+    );
+}
