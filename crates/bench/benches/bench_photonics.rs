@@ -3,7 +3,7 @@
 //! path (E-field propagation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flumen_linalg::{random_unitary, svd, C64, RMat};
+use flumen_linalg::{random_unitary, svd, RMat, C64};
 use flumen_photonics::clements::program_mesh;
 use flumen_photonics::{routing, FlumenFabric, MzimMesh, PartitionConfig, SvdCircuit};
 use rand::rngs::StdRng;
@@ -32,7 +32,9 @@ fn bench_propagation(c: &mut Criterion) {
         let u = random_unitary(n, &mut rng);
         let mut mesh = MzimMesh::new(n);
         program_mesh(&mut mesh, &u).unwrap();
-        let x: Vec<C64> = (0..n).map(|i| C64::from_re((i as f64 * 0.1).sin())).collect();
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::from_re((i as f64 * 0.1).sin()))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mesh.propagate(&x))
         });

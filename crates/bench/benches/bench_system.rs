@@ -33,7 +33,9 @@ fn bench_full_system(c: &mut Criterion) {
 fn bench_block_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_matmul");
     for size in [32usize, 128] {
-        let m = RMat::from_fn(size, size, |r, cidx| ((r * size + cidx) as f64 * 0.01).sin());
+        let m = RMat::from_fn(size, size, |r, cidx| {
+            ((r * size + cidx) as f64 * 0.01).sin()
+        });
         let x: Vec<f64> = (0..size).map(|i| (i as f64 * 0.1).cos()).collect();
         let blocks = BlockMatrix::decompose(&m, 8);
         group.bench_with_input(BenchmarkId::new("blocked_8", size), &size, |b, _| {

@@ -10,7 +10,11 @@ use flumen_bench::{quick_mode, write_csv, Table};
 use flumen_workloads::Vgg16Fc;
 
 fn main() {
-    let (out_dim, in_dim) = if quick_mode() { (64, 256) } else { (1000, 4096) };
+    let (out_dim, in_dim) = if quick_mode() {
+        (64, 256)
+    } else {
+        (1000, 4096)
+    };
     println!("batched VGG16-FC ({out_dim}×{in_dim}): Flumen-A speedup vs mesh");
     let mut table = Table::new(&["batch", "mesh_cycles", "fa_cycles", "speedup", "energyX"]);
     let mut rows = Vec::new();
@@ -38,7 +42,17 @@ fn main() {
         ]);
     }
     table.print();
-    write_csv("abl_batch_reuse.csv", &["batch", "mesh_cycles", "fa_cycles", "speedup", "energy_ratio"], &rows);
+    write_csv(
+        "abl_batch_reuse.csv",
+        &[
+            "batch",
+            "mesh_cycles",
+            "fa_cycles",
+            "speedup",
+            "energy_ratio",
+        ],
+        &rows,
+    );
     println!("\n  batch 1 is the paper's weakest case; reuse scales the win with batch");
     println!("  size until the cores' partial-sum accumulation becomes the bottleneck.");
 }

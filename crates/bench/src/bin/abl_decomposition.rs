@@ -21,7 +21,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xDEC0);
     println!("Clements vs Reck mesh layouts (per-λ laser power for the worst path)");
     let mut table = Table::new(&[
-        "n", "layout", "depth", "worst_loss_db", "laser_mw", "thermal_err_1e-2rad",
+        "n",
+        "layout",
+        "depth",
+        "worst_loss_db",
+        "laser_mw",
+        "thermal_err_1e-2rad",
     ]);
     let mut rows = Vec::new();
     for n in [4usize, 8, 16, 32] {
@@ -33,14 +38,20 @@ fn main() {
                     let mut mesh = MzimMesh::new(n);
                     clements::program_mesh(&mut mesh, &u).unwrap();
                     ThermalModel::new(0.01, 42).apply(&mut mesh);
-                    (reck::max_path_depth(&prog), (&mesh.transfer_matrix() - &u).max_abs())
+                    (
+                        reck::max_path_depth(&prog),
+                        (&mesh.transfer_matrix() - &u).max_abs(),
+                    )
                 }
                 _ => {
                     let prog = reck::decompose(&u).unwrap();
                     let mut mesh = reck::reck_mesh(n);
                     reck::program_reck_mesh(&mut mesh, &u).unwrap();
                     ThermalModel::new(0.01, 42).apply(&mut mesh);
-                    (reck::max_path_depth(&prog), (&mesh.transfer_matrix() - &u).max_abs())
+                    (
+                        reck::max_path_depth(&prog),
+                        (&mesh.transfer_matrix() - &u).max_abs(),
+                    )
                 }
             };
             let loss_db = depth as f64 * dev.mzi_loss_db();
@@ -66,7 +77,14 @@ fn main() {
     table.print();
     write_csv(
         "abl_decomposition.csv",
-        &["n", "layout", "depth", "worst_loss_db", "laser_mw", "thermal_err"],
+        &[
+            "n",
+            "layout",
+            "depth",
+            "worst_loss_db",
+            "laser_mw",
+            "thermal_err",
+        ],
         &rows,
     );
     println!("\n  the rectangle halves the depth → exponentially less laser power,");

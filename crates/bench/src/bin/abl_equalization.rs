@@ -55,7 +55,11 @@ fn main() {
         ]);
     }
     table.print();
-    write_csv("abl_equalization.csv", &["perm", "spread_off_db", "spread_on_db", "worst_db"], &rows);
+    write_csv(
+        "abl_equalization.csv",
+        &["perm", "spread_off_db", "spread_on_db", "worst_db"],
+        &rows,
+    );
     println!("\n  equalization collapses the received-power spread to 0 dB at the cost");
     println!("  of pinning every link at the worst-case path loss — simplifying the");
     println!("  receivers' decision thresholds (paper §3.1.2).");

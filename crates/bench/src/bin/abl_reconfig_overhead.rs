@@ -23,11 +23,17 @@ fn main() {
     let mut table = Table::new(&["bench", "pipeline", "fa_cycles", "vs_mesh"]);
     let mut rows = Vec::new();
     for bench in &benches {
-        let mesh = run_benchmark(bench.as_ref(), SystemTopology::Mesh, &RuntimeConfig::paper());
+        let mesh = run_benchmark(
+            bench.as_ref(),
+            SystemTopology::Mesh,
+            &RuntimeConfig::paper(),
+        );
         for pipeline in [0.0f64, 0.5, 0.9, 0.95, 0.995] {
             let mut cfg = RuntimeConfig::paper();
-            cfg.control =
-                ControlUnitParams { config_pipeline: pipeline, ..ControlUnitParams::paper() };
+            cfg.control = ControlUnitParams {
+                config_pipeline: pipeline,
+                ..ControlUnitParams::paper()
+            };
             cfg.max_cycles = 400_000_000;
             let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
             let s = mesh.cycles as f64 / fa.cycles as f64;
@@ -46,7 +52,11 @@ fn main() {
         }
     }
     table.print();
-    write_csv("abl_reconfig_pipelining.csv", &["bench", "pipeline", "fa_cycles", "speedup_vs_mesh"], &rows);
+    write_csv(
+        "abl_reconfig_pipelining.csv",
+        &["bench", "pipeline", "fa_cycles", "speedup_vs_mesh"],
+        &rows,
+    );
 
     println!("\nE14b: packet-latency impact of compute partitions (paper: ~9% increase)");
     let mut table2 = Table::new(&["bench", "flumen_i_lat", "flumen_a_lat", "increase"]);
@@ -66,8 +76,22 @@ fn main() {
             format!("{la:.1}"),
             format!("{inc:+.1}%"),
         ]);
-        rows2.push(vec![bench.name().to_string(), format!("{li:.3}"), format!("{la:.3}"), format!("{inc:.2}")]);
+        rows2.push(vec![
+            bench.name().to_string(),
+            format!("{li:.3}"),
+            format!("{la:.3}"),
+            format!("{inc:.2}"),
+        ]);
     }
     table2.print();
-    write_csv("abl_partition_latency.csv", &["bench", "flumen_i_latency", "flumen_a_latency", "increase_pct"], &rows2);
+    write_csv(
+        "abl_partition_latency.csv",
+        &[
+            "bench",
+            "flumen_i_latency",
+            "flumen_a_latency",
+            "increase_pct",
+        ],
+        &rows2,
+    );
 }

@@ -3,46 +3,91 @@
 //! The paper picks τ = 100 (collapse past ~170 as requests pile up),
 //! η = 40 % (≲30 % too strict — compute starves; ≳55 % too aggressive —
 //! computation blocks communication), and ζ = 50 %.
+//!
+//! Each (parameter, value) point is one sweep job, so the whole study
+//! runs in parallel and re-runs are cache hits.
 
-use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
 use flumen::scheduler::SchedulerParams;
-use flumen_bench::{quick_mode, write_csv, Table};
-use flumen_workloads::{Benchmark, ImageBlur};
+use flumen::{ControlUnitParams, RuntimeConfig, SystemTopology};
+use flumen_bench::{bench_specs, run_sweep, write_csv, Table};
+use flumen_sweep::{BenchKind, JobSpec, SweepPlan};
 
-fn run_with(sched: SchedulerParams, bench: &dyn Benchmark) -> (u64, u64) {
+fn job_for(sched: SchedulerParams) -> JobSpec {
+    let bench = bench_specs()
+        .into_iter()
+        .find(|b| b.kind == BenchKind::ImageBlur)
+        .expect("image_blur is in the set");
     let mut cfg = RuntimeConfig::paper();
-    cfg.control = ControlUnitParams { scheduler: sched, ..ControlUnitParams::paper() };
-    let r = run_benchmark(bench, SystemTopology::FlumenA, &cfg);
-    (r.cycles, r.counts.mzim_mvms)
+    cfg.control = ControlUnitParams {
+        scheduler: sched,
+        ..ControlUnitParams::paper()
+    };
+    JobSpec::FullRun {
+        bench,
+        topology: SystemTopology::FlumenA,
+        cfg,
+    }
 }
 
 fn main() {
-    let bench: Box<dyn Benchmark> =
-        if quick_mode() { Box::new(ImageBlur::small()) } else { Box::new(ImageBlur::paper()) };
+    // (axis label, value label, scheduler) for every point, in table order.
+    let mut sweep: Vec<(&str, String, SchedulerParams)> = Vec::new();
+    for tau in [25u64, 50, 100, 170, 250] {
+        sweep.push((
+            "tau",
+            tau.to_string(),
+            SchedulerParams {
+                tau,
+                ..SchedulerParams::paper()
+            },
+        ));
+    }
+    for eta in [0.1f64, 0.3, 0.4, 0.55, 0.7] {
+        sweep.push((
+            "eta",
+            format!("{eta:.2}"),
+            SchedulerParams {
+                eta,
+                ..SchedulerParams::paper()
+            },
+        ));
+    }
+    for zeta in [0.125f64, 0.25, 0.5, 1.0] {
+        sweep.push((
+            "zeta",
+            format!("{zeta:.3}"),
+            SchedulerParams {
+                zeta,
+                ..SchedulerParams::paper()
+            },
+        ));
+    }
 
-    println!("§3.4 scheduler sensitivity on {}", bench.name());
+    let mut plan = SweepPlan::new();
+    for (_, _, sched) in &sweep {
+        plan.push(job_for(sched.clone()));
+    }
+    println!("§3.4 scheduler sensitivity on image_blur");
+    let report = run_sweep("abl_scheduler_sensitivity", &plan);
 
     let mut table = Table::new(&["param", "value", "cycles", "mzim_mvms"]);
     let mut rows = Vec::new();
-    for tau in [25u64, 50, 100, 170, 250] {
-        let (cycles, mvms) =
-            run_with(SchedulerParams { tau, ..SchedulerParams::paper() }, bench.as_ref());
-        table.row(vec!["tau".into(), tau.to_string(), cycles.to_string(), mvms.to_string()]);
-        rows.push(vec!["tau".into(), tau.to_string(), cycles.to_string(), mvms.to_string()]);
-    }
-    for eta in [0.1f64, 0.3, 0.4, 0.55, 0.7] {
-        let (cycles, mvms) =
-            run_with(SchedulerParams { eta, ..SchedulerParams::paper() }, bench.as_ref());
-        table.row(vec!["eta".into(), format!("{eta:.2}"), cycles.to_string(), mvms.to_string()]);
-        rows.push(vec!["eta".into(), format!("{eta:.2}"), cycles.to_string(), mvms.to_string()]);
-    }
-    for zeta in [0.125f64, 0.25, 0.5, 1.0] {
-        let (cycles, mvms) =
-            run_with(SchedulerParams { zeta, ..SchedulerParams::paper() }, bench.as_ref());
-        table.row(vec!["zeta".into(), format!("{zeta:.3}"), cycles.to_string(), mvms.to_string()]);
-        rows.push(vec!["zeta".into(), format!("{zeta:.3}"), cycles.to_string(), mvms.to_string()]);
+    for ((param, value, _), result) in sweep.iter().zip(&report.results) {
+        let r = result.full_run();
+        let row = vec![
+            param.to_string(),
+            value.clone(),
+            r.cycles.to_string(),
+            r.counts.mzim_mvms.to_string(),
+        ];
+        table.row(row.clone());
+        rows.push(row);
     }
     table.print();
-    write_csv("abl_scheduler_sensitivity.csv", &["param", "value", "cycles", "mzim_mvms"], &rows);
+    write_csv(
+        "abl_scheduler_sensitivity.csv",
+        &["param", "value", "cycles", "mzim_mvms"],
+        &rows,
+    );
     println!("\n  paper operating point: tau=100, eta=0.40, zeta=0.50");
 }

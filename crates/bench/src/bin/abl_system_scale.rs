@@ -2,63 +2,101 @@
 //! taken beyond area): 8/16/32 chiplets (32/64/128 cores) running ResNet50
 //! Conv3 on Mesh vs Flumen-A, with the fabric and control unit scaled to
 //! `chiplets/2` inputs. Fabric area comes along from the §5.1 model.
+//!
+//! The chiplet-count × topology grid is an explicit sweep-job list, so
+//! the six (heavy) runs execute in parallel and repeat runs hit the
+//! cache.
 
 use flumen::scheduler::SchedulerParams;
-use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
-use flumen_bench::{quick_mode, write_csv, Table};
+use flumen::{ControlUnitParams, RuntimeConfig, SystemTopology};
+use flumen_bench::{bench_specs, run_sweep, write_csv, Table};
 use flumen_power::area;
+use flumen_sweep::{BenchKind, JobSpec, SweepPlan};
 use flumen_system::SystemConfig;
-use flumen_workloads::{Benchmark, ResnetConv3};
+
+const CHIPLET_COUNTS: [usize; 3] = [8, 16, 32];
+
+fn scaled_cfg(chiplets: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        system: SystemConfig {
+            cores: chiplets * 4,
+            chiplets,
+            ..SystemConfig::paper()
+        },
+        control: ControlUnitParams {
+            fabric_n: chiplets / 2,
+            chiplets_per_wire: 2,
+            scheduler: SchedulerParams::paper(),
+            ..ControlUnitParams::paper()
+        },
+        max_cycles: 400_000_000,
+        ..RuntimeConfig::paper()
+    }
+}
 
 fn main() {
-    let bench: Box<dyn Benchmark> =
-        if quick_mode() { Box::new(ResnetConv3::small()) } else { Box::new(ResnetConv3::paper()) };
+    let bench = bench_specs()
+        .into_iter()
+        .find(|b| b.kind == BenchKind::ResnetConv3)
+        .expect("resnet50_conv3 is in the set");
 
-    println!("system scaling on {} (fabric = chiplets/2 inputs)", bench.name());
+    // Chiplet count outer, topology (Mesh, Flumen-A) inner.
+    let mut plan = SweepPlan::new();
+    for chiplets in CHIPLET_COUNTS {
+        for topology in [SystemTopology::Mesh, SystemTopology::FlumenA] {
+            plan.push(JobSpec::FullRun {
+                bench,
+                topology,
+                cfg: scaled_cfg(chiplets),
+            });
+        }
+    }
+    println!(
+        "system scaling on {} (fabric = chiplets/2 inputs)",
+        bench.name()
+    );
+    let report = run_sweep("abl_system_scale", &plan);
+
     let mut table = Table::new(&[
-        "chiplets", "cores", "mesh_cyc", "fa_cyc", "speedup", "fabric_mm2",
+        "chiplets",
+        "cores",
+        "mesh_cyc",
+        "fa_cyc",
+        "speedup",
+        "fabric_mm2",
     ]);
     let mut rows = Vec::new();
-    for chiplets in [8usize, 16, 32] {
-        let fabric_n = chiplets / 2;
-        let cfg = RuntimeConfig {
-            system: SystemConfig {
-                cores: chiplets * 4,
-                chiplets,
-                ..SystemConfig::paper()
-            },
-            control: ControlUnitParams {
-                fabric_n,
-                chiplets_per_wire: 2,
-                scheduler: SchedulerParams::paper(),
-                ..ControlUnitParams::paper()
-            },
-            max_cycles: 400_000_000,
-            ..RuntimeConfig::paper()
-        };
-        let mesh = run_benchmark(bench.as_ref(), SystemTopology::Mesh, &cfg);
-        let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
+    for (i, chiplets) in CHIPLET_COUNTS.into_iter().enumerate() {
+        let mesh = report.results[2 * i].full_run();
+        let fa = report.results[2 * i + 1].full_run();
         let s = mesh.cycles as f64 / fa.cycles as f64;
+        let fabric_mm2 = area::mzim_area_mm2(chiplets / 2);
         table.row(vec![
             chiplets.to_string(),
             (chiplets * 4).to_string(),
             mesh.cycles.to_string(),
             fa.cycles.to_string(),
             format!("{s:.2}x"),
-            format!("{:.2}", area::mzim_area_mm2(fabric_n)),
+            format!("{fabric_mm2:.2}"),
         ]);
         rows.push(vec![
             chiplets.to_string(),
             mesh.cycles.to_string(),
             fa.cycles.to_string(),
             format!("{s:.4}"),
-            format!("{:.4}", area::mzim_area_mm2(fabric_n)),
+            format!("{fabric_mm2:.4}"),
         ]);
     }
     table.print();
     write_csv(
         "abl_system_scale.csv",
-        &["chiplets", "mesh_cycles", "fa_cycles", "speedup", "fabric_mm2"],
+        &[
+            "chiplets",
+            "mesh_cycles",
+            "fa_cycles",
+            "speedup",
+            "fabric_mm2",
+        ],
         &rows,
     );
     println!("\n  a fixed workload over more cores shrinks both runtimes; the fabric's");

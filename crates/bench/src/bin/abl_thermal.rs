@@ -8,8 +8,7 @@
 use flumen_bench::{write_csv, Table};
 use flumen_linalg::RMat;
 use flumen_photonics::{
-    crosstalk_floor_db, routing, AnalogModel, CouplerImbalance, MzimMesh, SvdCircuit,
-    ThermalModel,
+    crosstalk_floor_db, routing, AnalogModel, CouplerImbalance, MzimMesh, SvdCircuit, ThermalModel,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +27,11 @@ fn main() {
         rows1.push(vec![format!("{sigma:.5}"), format!("{xt:.3}")]);
     }
     t1.print();
-    write_csv("abl_thermal_crosstalk.csv", &["sigma_rad", "crosstalk_db"], &rows1);
+    write_csv(
+        "abl_thermal_crosstalk.csv",
+        &["sigma_rad", "crosstalk_db"],
+        &rows1,
+    );
 
     println!("\nthermal phase drift: 8×8 SVD compute error (relative to full scale)");
     let mut rng = StdRng::seed_from_u64(3);
@@ -46,7 +49,10 @@ fn main() {
         // to the field-error magnitude a phase error of σ induces (~σ per
         // traversed MZI, √depth accumulation).
         let eff_noise = sigma * (2.0 * 8.0f64).sqrt();
-        let model = AnalogModel { readout_noise_rel: eff_noise, ..AnalogModel::ideal() };
+        let model = AnalogModel {
+            readout_noise_rel: eff_noise,
+            ..AnalogModel::ideal()
+        };
         let mut worst = 0.0f64;
         for seed in 0..8u64 {
             let y = circuit.apply_with_model(&x, &model, seed);
@@ -60,7 +66,11 @@ fn main() {
         rows2.push(vec![format!("{sigma:.5}"), format!("{rel:.4}")]);
     }
     t2.print();
-    write_csv("abl_thermal_compute.csv", &["sigma_rad", "rel_err_pct"], &rows2);
+    write_csv(
+        "abl_thermal_compute.csv",
+        &["sigma_rad", "rel_err_pct"],
+        &rows2,
+    );
 
     println!("\ncoupler imbalance → extinction limit");
     let mut t3 = Table::new(&["delta", "extinction_db", "routed_crosstalk_db"]);
@@ -77,10 +87,18 @@ fn main() {
             format!("{:.1}", c.extinction_db()),
             format!("{xt:.1}"),
         ]);
-        rows3.push(vec![format!("{delta:.3}"), format!("{:.2}", c.extinction_db()), format!("{xt:.2}")]);
+        rows3.push(vec![
+            format!("{delta:.3}"),
+            format!("{:.2}", c.extinction_db()),
+            format!("{xt:.2}"),
+        ]);
     }
     t3.print();
-    write_csv("abl_coupler_imbalance.csv", &["delta", "extinction_db", "routed_crosstalk_db"], &rows3);
+    write_csv(
+        "abl_coupler_imbalance.csv",
+        &["delta", "extinction_db", "routed_crosstalk_db"],
+        &rows3,
+    );
     println!("\n  MZI phases tolerate ~10 mrad drift with >25 dB crosstalk margin —");
     println!("  the robustness headroom that lets Flumen skip per-device thermal");
     println!("  tuning loops (unlike MRR-heavy designs, §6).");

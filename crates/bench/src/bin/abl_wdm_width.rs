@@ -8,16 +8,30 @@ use flumen_power::compute;
 use flumen_workloads::{Benchmark, ResnetConv3};
 
 fn main() {
-    let bench: Box<dyn Benchmark> =
-        if quick_mode() { Box::new(ResnetConv3::small()) } else { Box::new(ResnetConv3::paper()) };
-    let mesh = run_benchmark(bench.as_ref(), SystemTopology::Mesh, &RuntimeConfig::paper());
+    let bench: Box<dyn Benchmark> = if quick_mode() {
+        Box::new(ResnetConv3::small())
+    } else {
+        Box::new(ResnetConv3::paper())
+    };
+    let mesh = run_benchmark(
+        bench.as_ref(),
+        SystemTopology::Mesh,
+        &RuntimeConfig::paper(),
+    );
 
-    println!("WDM compute width on {} (mesh baseline: {} cycles)", bench.name(), mesh.cycles);
+    println!(
+        "WDM compute width on {} (mesh baseline: {} cycles)",
+        bench.name(),
+        mesh.cycles
+    );
     let mut table = Table::new(&["lambdas", "fa_cycles", "speedup", "pj_per_mac_model"]);
     let mut rows = Vec::new();
     for lambdas in [1usize, 2, 4, 8] {
         let mut cfg = RuntimeConfig::paper();
-        cfg.control = ControlUnitParams { compute_lambdas: lambdas, ..ControlUnitParams::paper() };
+        cfg.control = ControlUnitParams {
+            compute_lambdas: lambdas,
+            ..ControlUnitParams::paper()
+        };
         cfg.max_cycles = 400_000_000;
         let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
         let s = mesh.cycles as f64 / fa.cycles as f64;
@@ -36,7 +50,11 @@ fn main() {
         ]);
     }
     table.print();
-    write_csv("abl_wdm_width.csv", &["lambdas", "fa_cycles", "speedup_vs_mesh", "pj_per_mac"], &rows);
+    write_csv(
+        "abl_wdm_width.csv",
+        &["lambdas", "fa_cycles", "speedup_vs_mesh", "pj_per_mac"],
+        &rows,
+    );
     println!("\n  more compute wavelengths = more parallel MVMs per pass: both the");
     println!("  streaming time and the per-MAC energy fall (Fig. 12c's mechanism).");
 }

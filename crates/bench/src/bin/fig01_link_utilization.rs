@@ -44,7 +44,11 @@ fn main() {
         }
     }
     summary.print();
-    write_csv("fig01_link_utilization.csv", &["bench", "lambdas", "cycle", "utilization"], &trace_rows);
+    write_csv(
+        "fig01_link_utilization.csv",
+        &["bench", "lambdas", "cycle", "utilization"],
+        &trace_rows,
+    );
     println!("\n  paper: avg utilization 19.7%/7.5% at 16λ and 5.5%/1.9% at 64λ for");
     println!("  Image Blur / VGG16 FC — low even when underprovisioned, leaving");
     println!("  ample idle capacity for in-network computation.");

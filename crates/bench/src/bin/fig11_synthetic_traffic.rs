@@ -1,40 +1,28 @@
 //! Fig. 11 — synthetic traffic evaluation: average packet latency vs
 //! offered load for uniform random, bit reversal and shuffle patterns on
 //! the electrical ring, electrical mesh, optical bus and Flumen MZIM.
+//!
+//! The pattern × load × network grid is declared as a sweep plan and
+//! executed by `flumen-sweep`, so points run in parallel and repeat runs
+//! are served from the result cache.
 
-use flumen_bench::{quick_mode, write_csv, Table};
-use flumen_noc::harness::{measure_point, RunConfig};
-use flumen_noc::traffic::TrafficPattern;
-use flumen_noc::{MzimCrossbar, Network, OpticalBus, RoutedNetwork};
+use flumen_bench::{fig11_loads, fig11_patterns, fig11_plan, run_sweep, write_csv, Table};
+use flumen_sweep::NetSpec;
 
 fn main() {
-    let cfg = if quick_mode() {
-        RunConfig { warmup: 300, measure: 2_000, ..RunConfig::default() }
-    } else {
-        RunConfig::default()
-    };
-    let loads: Vec<f64> = (1..=10).map(|k| 0.05 * k as f64).collect();
-    let patterns = [
-        TrafficPattern::UniformRandom,
-        TrafficPattern::BitReversal,
-        TrafficPattern::Shuffle,
-    ];
-
     println!("Fig. 11: avg packet latency (cycles) vs offered load ('sat' = saturated)");
+    let report = run_sweep("fig11_synthetic_traffic", &fig11_plan());
+
+    // Plan order: pattern outer, load middle, network inner.
+    let mut points = report.results.iter();
     let mut csv_rows = Vec::new();
-    for pattern in patterns {
+    for pattern in fig11_patterns() {
         println!("\n  pattern: {}", pattern.name());
         let mut table = Table::new(&["load", "ring", "mesh", "optbus", "flumen"]);
-        for &load in &loads {
+        for load in fig11_loads() {
             let mut cells = vec![format!("{load:.2}")];
-            for topo in ["ring", "mesh", "optbus", "flumen"] {
-                let mut net: Box<dyn Network> = match topo {
-                    "ring" => Box::new(RoutedNetwork::ring_16()),
-                    "mesh" => Box::new(RoutedNetwork::mesh_4x4()),
-                    "optbus" => Box::new(OpticalBus::optbus_16()),
-                    _ => Box::new(MzimCrossbar::flumen_16()),
-                };
-                let pt = measure_point(net.as_mut(), pattern, load, &cfg);
+            for net in NetSpec::fig11() {
+                let pt = points.next().expect("plan covers the grid").latency();
                 let cell = if pt.saturated {
                     "sat".to_string()
                 } else {
@@ -42,7 +30,7 @@ fn main() {
                 };
                 csv_rows.push(vec![
                     pattern.name().to_string(),
-                    topo.to_string(),
+                    net.name().to_string(),
                     format!("{load:.2}"),
                     format!("{:.2}", pt.avg_latency),
                     pt.saturated.to_string(),
@@ -56,7 +44,14 @@ fn main() {
     }
     write_csv(
         "fig11_synthetic_traffic.csv",
-        &["pattern", "topology", "load", "avg_latency", "saturated", "throughput"],
+        &[
+            "pattern",
+            "topology",
+            "load",
+            "avg_latency",
+            "saturated",
+            "throughput",
+        ],
         &csv_rows,
     );
     println!("\n  paper shape: Flumen lowest latency at all loads; OptBus saturates from shared-waveguide contention; Ring earliest/highest among electrical.");

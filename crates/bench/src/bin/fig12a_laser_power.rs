@@ -13,8 +13,14 @@ fn main() {
         let mut dev = DeviceParams::paper();
         dev.mrr_thru_loss_db = l;
         for (name, f) in [
-            ("optbus", loss::optbus_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64),
-            ("flumen", loss::flumen_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64),
+            (
+                "optbus",
+                loss::optbus_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64,
+            ),
+            (
+                "flumen",
+                loss::flumen_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64,
+            ),
         ] {
             table.row(vec![
                 format!("{l:.2}"),
@@ -26,7 +32,11 @@ fn main() {
         }
     }
     table.print();
-    write_csv("fig12a_laser_power.csv", &table.csv_headers(), &table.csv_rows());
+    write_csv(
+        "fig12a_laser_power.csv",
+        &table.csv_headers(),
+        &table.csv_rows(),
+    );
 
     let dev = DeviceParams::paper();
     let ob = loss::optbus_laser_power_mw(16, 32, &dev);

@@ -7,7 +7,17 @@ use flumen_power::compute;
 fn main() {
     println!("Fig. 12b: matrix-multiplication energy (pJ), electrical MAC vs Flumen MZIM");
     let mut table = Table::new(&["n", "vectors", "electrical_pj", "flumen_pj", "reduction"]);
-    for (n, p) in [(4usize, 4usize), (8, 4), (8, 8), (16, 4), (16, 8), (32, 8), (64, 1), (64, 4), (64, 8)] {
+    for (n, p) in [
+        (4usize, 4usize),
+        (8, 4),
+        (8, 8),
+        (16, 4),
+        (16, 8),
+        (32, 8),
+        (64, 1),
+        (64, 4),
+        (64, 8),
+    ] {
         let e = compute::electrical_matmul_pj(n, p);
         let f = compute::flumen_matmul_pj(n, p);
         table.row(vec![
@@ -19,7 +29,11 @@ fn main() {
         ]);
     }
     table.print();
-    write_csv("fig12b_compute_energy.csv", &table.csv_headers(), &table.csv_rows());
+    write_csv(
+        "fig12b_compute_energy.csv",
+        &table.csv_headers(),
+        &table.csv_rows(),
+    );
 
     println!("\n  paper anchors: 8x8/4vec: elec 69.2 / flumen 33.8 (2x);");
     println!("                 16x16/8vec: elec 554 / flumen 82 (~7x);");

@@ -17,7 +17,14 @@ fn main() {
         table.row(row);
     }
     table.print();
-    write_csv("fig12c_mac_energy.csv", &table.csv_headers(), &table.csv_rows());
-    println!("\n  electrical reference: {:.4} pJ/MAC", compute::ELEC_MAC_PJ);
+    write_csv(
+        "fig12c_mac_energy.csv",
+        &table.csv_headers(),
+        &table.csv_rows(),
+    );
+    println!(
+        "\n  electrical reference: {:.4} pJ/MAC",
+        compute::ELEC_MAC_PJ
+    );
     println!("  shape check: energy/MAC falls with both dimension and λ count");
 }

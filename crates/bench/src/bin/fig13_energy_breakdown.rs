@@ -1,8 +1,8 @@
 //! Fig. 13 — energy consumption breakdown by component for each benchmark
 //! on Ring (R), Mesh (M), OptBus (OB), Flumen-I (F-I) and Flumen-A (F-A).
 
-use flumen_bench::{geomean, run_grid, write_csv, Table};
 use flumen::SystemTopology;
+use flumen_bench::{geomean, run_grid, write_csv, Table};
 
 fn main() {
     println!("Fig. 13: energy breakdown (µJ) per benchmark × topology");
@@ -44,16 +44,15 @@ fn main() {
     table.print();
     write_csv(
         "fig13_energy_breakdown.csv",
-        &["bench", "topology", "core_j", "l1i_j", "l1d_j", "l2_j", "l3_j", "dram_j", "nop_j", "mzim_j"],
+        &[
+            "bench", "topology", "core_j", "l1i_j", "l1d_j", "l2_j", "l3_j", "dram_j", "nop_j",
+            "mzim_j",
+        ],
         &rows,
     );
 
     // Headline: Flumen-A energy reduction vs Mesh and vs Flumen-I.
-    let benches: Vec<String> = {
-        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
-        b.dedup();
-        b
-    };
+    let benches = flumen_bench::bench_names(&grid);
     let mut vs_mesh = Vec::new();
     let mut vs_fi = Vec::new();
     println!("\n  Flumen-A energy reduction:");
@@ -63,7 +62,11 @@ fn main() {
         let fa = flumen_bench::grid_row(&grid, b, SystemTopology::FlumenA).total_energy_j();
         vs_mesh.push(mesh / fa);
         vs_fi.push(fi / fa);
-        println!("    {b:16} vs mesh {:5.2}x   vs flumen-i {:5.2}x", mesh / fa, fi / fa);
+        println!(
+            "    {b:16} vs mesh {:5.2}x   vs flumen-i {:5.2}x",
+            mesh / fa,
+            fi / fa
+        );
     }
     println!(
         "  geomean vs mesh: {:.2}x (paper: 2.5x; per-bench 1.5/1.9/2.9/2.6/4.8)",

@@ -1,16 +1,12 @@
 //! Fig. 14 — speedup of Flumen-A over Ring, Mesh, OptBus and Flumen-I.
 
 use flumen::SystemTopology;
-use flumen_bench::{geomean, grid_row, run_grid, write_csv, Table};
+use flumen_bench::{bench_names, geomean, grid_row, run_grid, write_csv, Table};
 
 fn main() {
     println!("Fig. 14: Flumen-A speedup per benchmark");
     let grid = run_grid();
-    let benches: Vec<String> = {
-        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
-        b.dedup();
-        b
-    };
+    let benches = bench_names(&grid);
 
     let baselines = [
         SystemTopology::Ring,
@@ -37,7 +33,11 @@ fn main() {
         rows.push(csv);
     }
     table.print();
-    write_csv("fig14_speedup.csv", &["bench", "vs_ring", "vs_mesh", "vs_optbus", "vs_flumen_i"], &rows);
+    write_csv(
+        "fig14_speedup.csv",
+        &["bench", "vs_ring", "vs_mesh", "vs_optbus", "vs_flumen_i"],
+        &rows,
+    );
     println!(
         "\n  geomean vs mesh: {:.2}x (paper: 3.6x; per-bench 3.3/2.0/4.5/4.0/5.2)",
         geomean(&vs_mesh)

@@ -1,16 +1,12 @@
 //! Fig. 15 — energy-delay product across benchmarks and topologies.
 
 use flumen::SystemTopology;
-use flumen_bench::{geomean, grid_row, run_grid, write_csv, Table};
+use flumen_bench::{bench_names, geomean, grid_row, run_grid, write_csv, Table};
 
 fn main() {
     println!("Fig. 15: energy-delay product (nJ·s)");
     let grid = run_grid();
-    let benches: Vec<String> = {
-        let mut b: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
-        b.dedup();
-        b
-    };
+    let benches = bench_names(&grid);
 
     let mut table = Table::new(&["bench", "ring", "mesh", "optbus", "flumen_i", "flumen_a"]);
     let mut rows = Vec::new();
@@ -27,7 +23,11 @@ fn main() {
         rows.push(row);
     }
     table.print();
-    write_csv("fig15_edp.csv", &["bench", "ring", "mesh", "optbus", "flumen_i", "flumen_a"], &rows);
+    write_csv(
+        "fig15_edp.csv",
+        &["bench", "ring", "mesh", "optbus", "flumen_i", "flumen_a"],
+        &rows,
+    );
     println!(
         "\n  Flumen-A EDP improvement geomean: vs mesh {:.2}x (paper: 9.3x; per-bench 5.1/3.9/13.0/10.5/25.2)",
         geomean(&vs_mesh)

@@ -6,17 +6,38 @@ use flumen_power::area;
 
 fn main() {
     println!("§5.1 area model (mm², 7 nm scaled)");
-    println!("  endpoint (chiplet):        {:.2}  (paper: 9.46, 4.2% transceiver)", area::ENDPOINT_MM2);
-    println!("  8x8 MZIM fabric:           {:.2}  (paper: 5.04)", area::mzim_area_mm2(8));
-    println!("  MZIM + controller:         {:.2}  (paper: 11.2)", area::mzim_area_mm2(8) + area::CONTROLLER_MM2);
-    println!("  Flumen 16-chiplet total:   {:.2}  (paper: 162.6)", area::flumen_system_mm2(16, 8));
+    println!(
+        "  endpoint (chiplet):        {:.2}  (paper: 9.46, 4.2% transceiver)",
+        area::ENDPOINT_MM2
+    );
+    println!(
+        "  8x8 MZIM fabric:           {:.2}  (paper: 5.04)",
+        area::mzim_area_mm2(8)
+    );
+    println!(
+        "  MZIM + controller:         {:.2}  (paper: 11.2)",
+        area::mzim_area_mm2(8) + area::CONTROLLER_MM2
+    );
+    println!(
+        "  Flumen 16-chiplet total:   {:.2}  (paper: 162.6)",
+        area::flumen_system_mm2(16, 8)
+    );
     println!("  electrical mesh total:     {:.2}  (paper prints 114.9; its own +17.7 mm²/12.2% arithmetic implies 144.9)", area::mesh_system_mm2(16));
     let overhead = area::flumen_system_mm2(16, 8) - area::mesh_system_mm2(16);
-    println!("  Flumen overhead:           {:.2} mm² = {:.1}%  (paper: 17.7 mm², 12.2%)",
-        overhead, 100.0 * overhead / area::mesh_system_mm2(16));
+    println!(
+        "  Flumen overhead:           {:.2} mm² = {:.1}%  (paper: 17.7 mm², 12.2%)",
+        overhead,
+        100.0 * overhead / area::mesh_system_mm2(16)
+    );
 
     println!("\n  scaling (fabric needs chiplets/2 inputs):");
-    let mut table = Table::new(&["chiplets", "fabric", "fabric_mm2", "chiplets_mm2", "fraction"]);
+    let mut table = Table::new(&[
+        "chiplets",
+        "fabric",
+        "fabric_mm2",
+        "chiplets_mm2",
+        "fraction",
+    ]);
     for row in area::scaling_table(&[16, 32, 64, 128]) {
         table.row(vec![
             row.chiplets.to_string(),

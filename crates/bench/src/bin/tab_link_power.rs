@@ -10,7 +10,14 @@ fn main() {
     let dev = DeviceParams::paper();
     println!("per-endpoint photonic power budgets (mW), 16-node system");
     let mut table = Table::new(&[
-        "topology", "lambdas", "laser", "tuning", "modulation", "tia", "serdes", "total",
+        "topology",
+        "lambdas",
+        "laser",
+        "tuning",
+        "modulation",
+        "tia",
+        "serdes",
+        "total",
     ]);
     let mut rows = Vec::new();
     for lambdas in [16usize, 32, 64] {
@@ -43,7 +50,16 @@ fn main() {
     table.print();
     write_csv(
         "tab_link_power.csv",
-        &["topology", "lambdas", "laser_mw", "tuning_mw", "modulation_mw", "tia_mw", "serdes_mw", "total_mw"],
+        &[
+            "topology",
+            "lambdas",
+            "laser_mw",
+            "tuning_mw",
+            "modulation_mw",
+            "tia_mw",
+            "serdes_mw",
+            "total_mw",
+        ],
         &rows,
     );
     println!("\n  MRR thermal tuning dominates Flumen's endpoint envelope; the");

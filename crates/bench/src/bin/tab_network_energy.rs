@@ -11,7 +11,11 @@ use flumen_power::{network_energy_j, EnergyParams, NopKind};
 
 fn main() {
     let cfg = if quick_mode() {
-        RunConfig { warmup: 300, measure: 2_000, ..RunConfig::default() }
+        RunConfig {
+            warmup: 300,
+            measure: 2_000,
+            ..RunConfig::default()
+        }
     } else {
         RunConfig::default()
     };
@@ -71,10 +75,18 @@ fn main() {
             format!("{red:.0}%"),
             paper[i].to_string(),
         ]);
-        rows.push(vec![name.to_string(), format!("{:.6e}", totals[i]), format!("{red:.1}")]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.6e}", totals[i]),
+            format!("{red:.1}"),
+        ]);
     }
     table.print();
-    write_csv("tab_network_energy.csv", &["topology", "energy_j", "reduction_pct"], &rows);
+    write_csv(
+        "tab_network_energy.csv",
+        &["topology", "energy_j", "reduction_pct"],
+        &rows,
+    );
     println!("\n  qualitative checks: mesh ≪ ring; photonic options below ring;");
     println!("  Flumen above pure MZIM (always-on compute DAC/ADC).");
 }

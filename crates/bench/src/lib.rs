@@ -4,7 +4,12 @@
 //! stdout and writes a CSV under `EXPERIMENTS-data/` so the results can be
 //! plotted or diffed. `fig_all` runs the whole battery.
 
-use flumen::{run_benchmark, FullRunResult, RuntimeConfig, SystemTopology};
+use flumen::{FullRunResult, RuntimeConfig, SystemTopology};
+use flumen_noc::harness::RunConfig;
+use flumen_noc::traffic::TrafficPattern;
+use flumen_sweep::{
+    run_plan, sink, BenchSize, BenchSpec, JobSpec, NetSpec, SweepOptions, SweepPlan, SweepReport,
+};
 use flumen_workloads::{paper_benchmarks, small_benchmarks, Benchmark};
 use std::fs;
 use std::path::PathBuf;
@@ -51,17 +56,123 @@ pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
     }
 }
 
-/// Runs the full benchmark × topology grid (the data behind Figs. 13–15).
-pub fn run_grid() -> Vec<FullRunResult> {
+/// The benchmark *specs* honouring `--quick` (for sweep plans).
+pub fn bench_specs() -> Vec<BenchSpec> {
+    BenchSpec::all(if quick_mode() {
+        BenchSize::Small
+    } else {
+        BenchSize::Paper
+    })
+}
+
+/// Executor options for figure binaries: environment-driven threads and
+/// cache location, progress lines on.
+pub fn sweep_options() -> SweepOptions {
+    SweepOptions {
+        verbose: true,
+        ..SweepOptions::from_env()
+    }
+}
+
+/// The benchmark × topology plan behind Figs. 13–15 (benchmark outer,
+/// topology inner — the row order every figure binary expects).
+pub fn grid_plan() -> SweepPlan {
     let cfg = RuntimeConfig::paper();
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        for topo in SystemTopology::all() {
-            eprintln!("  running {} on {} …", bench.name(), topo.name());
-            rows.push(run_benchmark(bench.as_ref(), topo, &cfg));
+    let mut plan = SweepPlan::new();
+    for bench in bench_specs() {
+        for topology in SystemTopology::all() {
+            plan.push(JobSpec::FullRun {
+                bench,
+                topology,
+                cfg: cfg.clone(),
+            });
         }
     }
-    rows
+    plan
+}
+
+/// Runs `plan` through the sweep engine, records it in the manifest and
+/// prints the cache/wall summary.
+pub fn run_sweep(name: &str, plan: &SweepPlan) -> SweepReport {
+    let opts = sweep_options();
+    let report = run_plan(plan, &opts);
+    sink::append_manifest(&out_dir(), name, &report);
+    eprintln!(
+        "  [sweep] {name}: {} jobs, {} cached, {} simulated, {:.0} ms on {} thread(s)",
+        report.records.len(),
+        report.cache_hits(),
+        report.executed(),
+        report.wall_ms,
+        opts.threads,
+    );
+    report
+}
+
+/// Runs the full benchmark × topology grid (the data behind Figs. 13–15)
+/// through the parallel, cache-backed sweep engine.
+pub fn run_grid() -> Vec<FullRunResult> {
+    let report = run_sweep("grid", &grid_plan());
+    report
+        .results
+        .iter()
+        .map(|r| r.full_run().clone())
+        .collect()
+}
+
+/// The distinct benchmark names of a grid, in first-appearance order
+/// (shared by the Figs. 13–15 binaries).
+pub fn bench_names(grid: &[FullRunResult]) -> Vec<String> {
+    let mut names: Vec<String> = grid.iter().map(|r| r.benchmark.clone()).collect();
+    names.dedup();
+    names
+}
+
+/// Harness parameters for the Fig. 11 synthetic-traffic sweep, honouring
+/// `--quick`.
+pub fn fig11_run_config() -> RunConfig {
+    if quick_mode() {
+        RunConfig {
+            warmup: 300,
+            measure: 2_000,
+            ..RunConfig::default()
+        }
+    } else {
+        RunConfig::default()
+    }
+}
+
+/// The offered-load axis of Fig. 11 (0.05 … 0.50).
+pub fn fig11_loads() -> Vec<f64> {
+    (1..=10).map(|k| 0.05 * k as f64).collect()
+}
+
+/// The traffic patterns evaluated in Fig. 11.
+pub fn fig11_patterns() -> [TrafficPattern; 3] {
+    [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Shuffle,
+    ]
+}
+
+/// The Fig. 11 plan: pattern × load × network latency points (pattern
+/// outer, load middle, network inner — the binary's table order).
+pub fn fig11_plan() -> SweepPlan {
+    let cfg = fig11_run_config();
+    let mut plan = SweepPlan::new();
+    for pattern in fig11_patterns() {
+        for load in fig11_loads() {
+            for net in NetSpec::fig11() {
+                plan.push(JobSpec::NocPoint {
+                    net,
+                    pattern,
+                    load,
+                    cfg: cfg.clone(),
+                });
+            }
+        }
+    }
+    plan
 }
 
 /// Looks up a grid row.
@@ -90,7 +201,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row.

@@ -178,12 +178,17 @@ impl MzimControlUnit {
     fn try_admit(&mut self, now: u64, net: &mut MzimCrossbar) {
         let params = self.params.clone();
         while self.active.len() < params.max_partitions {
-            let Some(head) = self.queue.front().cloned() else { break };
+            let Some(head) = self.queue.front().cloned() else {
+                break;
+            };
             // Timed-out requests are bounced to local compute.
             if now.saturating_sub(head.arrived) > params.scheduler.max_wait {
                 self.queue.pop_front();
                 self.rejected += 1;
-                self.finished.push(ExternalOutcome { tag: head.tag, accepted: false });
+                self.finished.push(ExternalOutcome {
+                    tag: head.tag,
+                    accepted: false,
+                });
                 continue;
             }
             let beta = buffer_utilization(
@@ -196,7 +201,9 @@ impl MzimControlUnit {
             }
             let width = (head.n as usize).min(params.fabric_n);
             let prefer = head.chiplet / params.chiplets_per_wire;
-            let Some(wires) = self.find_wires(width, prefer) else { break };
+            let Some(wires) = self.find_wires(width, prefer) else {
+                break;
+            };
             let ports: Vec<usize> = wires
                 .iter()
                 .flat_map(|&w| {
@@ -236,7 +243,14 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
         payload: ExternalPayload,
     ) {
         let [configs, vectors, n, _macs] = payload;
-        self.queue.push_back(CompRequest { tag, chiplet, configs, vectors, n, arrived: now });
+        self.queue.push_back(CompRequest {
+            tag,
+            chiplet,
+            configs,
+            vectors,
+            n,
+            arrived: now,
+        });
     }
 
     fn step(&mut self, now: u64, net: &mut MzimCrossbar) -> Vec<ExternalOutcome> {
@@ -253,7 +267,10 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
                     self.wire_busy[*w] = false;
                 }
                 let _ = net.release_wires(&done.ports);
-                self.finished.push(ExternalOutcome { tag: done.tag, accepted: true });
+                self.finished.push(ExternalOutcome {
+                    tag: done.tag,
+                    accepted: true,
+                });
             } else {
                 i += 1;
             }
@@ -268,13 +285,18 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
             if beta > self.params.scheduler.reject_beta {
                 while let Some(req) = self.queue.pop_front() {
                     self.rejected += 1;
-                    self.finished.push(ExternalOutcome { tag: req.tag, accepted: false });
+                    self.finished.push(ExternalOutcome {
+                        tag: req.tag,
+                        accepted: false,
+                    });
                 }
             }
         }
         // Partition evaluation every τ cycles (and opportunistically when
         // the fabric is idle and traffic is quiet).
-        if now.is_multiple_of(self.params.scheduler.tau) || self.active.len() < self.params.max_partitions {
+        if now.is_multiple_of(self.params.scheduler.tau)
+            || self.active.len() < self.params.max_partitions
+        {
             self.try_admit(now, net);
         }
         std::mem::take(&mut self.finished)
@@ -303,7 +325,11 @@ mod tests {
         MzimControlUnit::new(ControlUnitParams::paper())
     }
 
-    fn drive(cu: &mut MzimControlUnit, net: &mut MzimCrossbar, cycles: u64) -> Vec<ExternalOutcome> {
+    fn drive(
+        cu: &mut MzimControlUnit,
+        net: &mut MzimCrossbar,
+        cycles: u64,
+    ) -> Vec<ExternalOutcome> {
         let mut out = Vec::new();
         for _ in 0..cycles {
             let now = net.cycle();
@@ -358,7 +384,13 @@ mod tests {
         // Saturate the request buffers well past η.
         for src in 0..16 {
             for k in 0..12 {
-                net.inject(Packet::new((src * 100 + k) as u64, src, (src + 1) % 16, 1024, 0));
+                net.inject(Packet::new(
+                    (src * 100 + k) as u64,
+                    src,
+                    (src + 1) % 16,
+                    1024,
+                    0,
+                ));
             }
         }
         cu.on_request(0, 0, 2, 5, [4, 16, 4, 0]);
@@ -373,14 +405,23 @@ mod tests {
     #[test]
     fn crushing_load_rejects_to_local_compute() {
         let params = ControlUnitParams {
-            scheduler: SchedulerParams { reject_beta: 0.3, ..SchedulerParams::paper() },
+            scheduler: SchedulerParams {
+                reject_beta: 0.3,
+                ..SchedulerParams::paper()
+            },
             ..ControlUnitParams::paper()
         };
         let mut cu = MzimControlUnit::new(params);
         let mut net = net16();
         for src in 0..16 {
             for k in 0..16 {
-                net.inject(Packet::new((src * 100 + k) as u64, src, (src + 3) % 16, 1024, 0));
+                net.inject(Packet::new(
+                    (src * 100 + k) as u64,
+                    src,
+                    (src + 3) % 16,
+                    1024,
+                    0,
+                ));
             }
         }
         cu.on_request(0, 0, 2, 9, [4, 16, 4, 0]);
@@ -391,7 +432,10 @@ mod tests {
 
     #[test]
     fn concurrent_partitions_capped() {
-        let params = ControlUnitParams { max_partitions: 1, ..ControlUnitParams::paper() };
+        let params = ControlUnitParams {
+            max_partitions: 1,
+            ..ControlUnitParams::paper()
+        };
         let mut cu = MzimControlUnit::new(params);
         let mut net = net16();
         cu.on_request(0, 0, 1, 1, [100, 64, 4, 0]);
@@ -421,7 +465,11 @@ mod tests {
     #[test]
     fn timeout_rejects_stuck_requests() {
         let params = ControlUnitParams {
-            scheduler: SchedulerParams { max_wait: 50, eta: -1.0, ..SchedulerParams::paper() },
+            scheduler: SchedulerParams {
+                max_wait: 50,
+                eta: -1.0,
+                ..SchedulerParams::paper()
+            },
             ..ControlUnitParams::paper()
         };
         // η = -1 means nothing is ever admitted; requests must time out.

@@ -25,12 +25,18 @@ pub struct PhotonicExecutor {
 impl PhotonicExecutor {
     /// An executor with ideal analog behaviour.
     pub fn ideal(n: usize) -> Self {
-        PhotonicExecutor { n, model: AnalogModel::ideal() }
+        PhotonicExecutor {
+            n,
+            model: AnalogModel::ideal(),
+        }
     }
 
     /// An executor at the paper's 8-bit operating point.
     pub fn eight_bit(n: usize) -> Self {
-        PhotonicExecutor { n, model: AnalogModel::eight_bit() }
+        PhotonicExecutor {
+            n,
+            model: AnalogModel::eight_bit(),
+        }
     }
 
     /// Runs one job: programs a circuit per matrix sub-block, streams
@@ -61,7 +67,9 @@ impl PhotonicExecutor {
                 circuits.push(c);
             }
         }
-        let limit = max_vectors.unwrap_or(job.vectors.len()).min(job.vectors.len());
+        let limit = max_vectors
+            .unwrap_or(job.vectors.len())
+            .min(job.vectors.len());
         let mut out = Vec::with_capacity(limit);
         for (vi, vector) in job.vectors.iter().take(limit).enumerate() {
             let y = blocks.mul_vec_via_blocks(vector, |i, j, _, chunk| {
@@ -88,7 +96,11 @@ impl PhotonicExecutor {
         bench: &dyn Benchmark,
         max_vectors: Option<usize>,
     ) -> Result<Vec<Vec<Vec<f64>>>, PhotonicsError> {
-        bench.jobs().iter().map(|j| self.run_job(j, max_vectors)).collect()
+        bench
+            .jobs()
+            .iter()
+            .map(|j| self.run_job(j, max_vectors))
+            .collect()
     }
 }
 
@@ -113,7 +125,10 @@ mod tests {
         let exec = PhotonicExecutor::eight_bit(4);
         let results = exec.run_benchmark(&bench, None).unwrap();
         // 8-bit analog: a few percent of full scale.
-        assert!(bench.verify(&results, 0.1), "8-bit rotation error too large");
+        assert!(
+            bench.verify(&results, 0.1),
+            "8-bit rotation error too large"
+        );
         // But not exact — the analog model must actually perturb values.
         assert!(!bench.verify(&results, 1e-12));
     }

@@ -3,9 +3,7 @@
 //! — the data behind paper Figs. 13/14/15.
 
 use crate::control_unit::{ControlUnitParams, MzimControlUnit};
-use flumen_noc::{
-    CrossbarConfig, MzimCrossbar, NetStats, OpticalBus, RoutedNetwork,
-};
+use flumen_noc::{CrossbarConfig, MzimCrossbar, NetStats, OpticalBus, RoutedNetwork};
 use flumen_power::{system_energy, EnergyBreakdown, EnergyParams, NopKind};
 use flumen_system::{ActivityCounts, NullServer, SystemConfig, SystemSim};
 use flumen_workloads::taskgen::{self, ExecMode, TaskGenConfig};
@@ -62,7 +60,7 @@ impl SystemTopology {
 }
 
 /// End-to-end runtime configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// System (cores/caches) parameters.
     pub system: SystemConfig,
@@ -86,7 +84,7 @@ pub struct RuntimeConfig {
 fn mesh_dims(n: usize) -> (usize, usize) {
     let mut w = (n as f64).sqrt() as usize;
     while w >= 2 {
-        if n % w == 0 && n / w >= 2 {
+        if n.is_multiple_of(w) && n / w >= 2 {
             return (w, n / w);
         }
         w -= 1;
@@ -184,7 +182,10 @@ pub fn run_benchmark(
             let (w, h) = mesh_dims(chiplets);
             run_sim(
                 RoutedNetwork::new(
-                    flumen_noc::RoutedTopology::Mesh { width: w, height: h },
+                    flumen_noc::RoutedTopology::Mesh {
+                        width: w,
+                        height: h,
+                    },
                     flumen_noc::RoutedConfig::default(),
                 )
                 .expect("mesh of ≥2×2 chiplets"),
@@ -245,52 +246,11 @@ fn run_sim<N: flumen_noc::Network>(
     let mut sim = SystemSim::new(cfg.system.clone(), net, NullServer::default(), tasks);
     sim.set_trace_interval(cfg.trace_interval);
     let r = sim.run(cfg.max_cycles);
-    assert!(r.cycles < cfg.max_cycles, "simulation did not finish within the cycle budget");
+    assert!(
+        r.cycles < cfg.max_cycles,
+        "simulation did not finish within the cycle budget"
+    );
     (r.cycles, r.counts, r.net_stats, r.utilization_trace)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use flumen_workloads::Rotation3d;
-
-    #[test]
-    fn topology_names_and_kinds_are_distinct() {
-        let names: std::collections::HashSet<&str> =
-            SystemTopology::all().iter().map(|t| t.name()).collect();
-        assert_eq!(names.len(), 5);
-        assert_eq!(SystemTopology::FlumenA.nop_kind(), NopKind::FlumenAccel);
-        assert_eq!(SystemTopology::Mesh.nop_kind(), NopKind::Mesh);
-    }
-
-    #[test]
-    fn paper_config_is_consistent() {
-        let cfg = RuntimeConfig::paper();
-        assert_eq!(cfg.system.chiplets, 16);
-        assert_eq!(cfg.control.fabric_n * cfg.control.chiplets_per_wire, cfg.system.chiplets);
-        assert!(cfg.max_cycles > 1_000_000);
-    }
-
-    #[test]
-    fn result_accessors_are_consistent() {
-        let cfg = RuntimeConfig { max_cycles: 10_000_000, ..RuntimeConfig::paper() };
-        let r = run_benchmark(&Rotation3d::small(), SystemTopology::Mesh, &cfg);
-        assert!((r.edp() - r.total_energy_j() * r.seconds).abs() < 1e-18);
-        assert!((r.seconds - r.cycles as f64 / 2.5e9).abs() < 1e-15);
-        assert_eq!(r.topology, SystemTopology::Mesh);
-        assert_eq!(r.benchmark, "rotation_3d");
-    }
-
-    #[test]
-    fn trace_interval_controls_sampling() {
-        let mut cfg = RuntimeConfig { max_cycles: 10_000_000, ..RuntimeConfig::paper() };
-        cfg.trace_interval = 0;
-        let r0 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
-        assert!(r0.utilization_trace.is_empty());
-        cfg.trace_interval = 100;
-        let r1 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
-        assert!(!r1.utilization_trace.is_empty());
-    }
 }
 
 /// Runs a benchmark on a photonic crossbar with a reduced wavelength count
@@ -305,7 +265,10 @@ pub fn run_utilization_trace(
     let bits_per_cycle = (lambdas * 4) as u32; // 10 Gbps/λ at 2.5 GHz
     let net = MzimCrossbar::new(
         cfg.system.chiplets,
-        CrossbarConfig { bits_per_cycle, ..CrossbarConfig::default() },
+        CrossbarConfig {
+            bits_per_cycle,
+            ..CrossbarConfig::default()
+        },
     )
     .expect("16-node crossbar");
     let tasks = taskgen::generate(bench, &cfg.system, ExecMode::Local, &cfg.taskgen);
@@ -330,5 +293,58 @@ pub fn run_utilization_trace(
         net_stats: r.net_stats,
         energy,
         utilization_trace: r.utilization_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flumen_workloads::Rotation3d;
+
+    #[test]
+    fn topology_names_and_kinds_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            SystemTopology::all().iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(SystemTopology::FlumenA.nop_kind(), NopKind::FlumenAccel);
+        assert_eq!(SystemTopology::Mesh.nop_kind(), NopKind::Mesh);
+    }
+
+    #[test]
+    fn paper_config_is_consistent() {
+        let cfg = RuntimeConfig::paper();
+        assert_eq!(cfg.system.chiplets, 16);
+        assert_eq!(
+            cfg.control.fabric_n * cfg.control.chiplets_per_wire,
+            cfg.system.chiplets
+        );
+        assert!(cfg.max_cycles > 1_000_000);
+    }
+
+    #[test]
+    fn result_accessors_are_consistent() {
+        let cfg = RuntimeConfig {
+            max_cycles: 10_000_000,
+            ..RuntimeConfig::paper()
+        };
+        let r = run_benchmark(&Rotation3d::small(), SystemTopology::Mesh, &cfg);
+        assert!((r.edp() - r.total_energy_j() * r.seconds).abs() < 1e-18);
+        assert!((r.seconds - r.cycles as f64 / 2.5e9).abs() < 1e-15);
+        assert_eq!(r.topology, SystemTopology::Mesh);
+        assert_eq!(r.benchmark, "rotation_3d");
+    }
+
+    #[test]
+    fn trace_interval_controls_sampling() {
+        let mut cfg = RuntimeConfig {
+            max_cycles: 10_000_000,
+            ..RuntimeConfig::paper()
+        };
+        cfg.trace_interval = 0;
+        let r0 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
+        assert!(r0.utilization_trace.is_empty());
+        cfg.trace_interval = 100;
+        let r1 = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenI, &cfg);
+        assert!(!r1.utilization_trace.is_empty());
     }
 }

@@ -118,4 +118,44 @@ mod tests {
         assert!(admit(0.40, &p));
         assert!(!admit(0.41, &p));
     }
+
+    #[test]
+    fn beta_zeta_extremes() {
+        let mut depths = vec![2usize; 8];
+        depths[5] = 16;
+        // ζ = 0: the scan width clamps to one buffer — the hottest.
+        assert!((buffer_utilization(&depths, 0.0, 16) - 1.0).abs() < 1e-12);
+        // ζ = 1: plain global average.
+        let global = (7.0 * 2.0 + 16.0) / (8.0 * 16.0);
+        assert!((buffer_utilization(&depths, 1.0, 16) - global).abs() < 1e-12);
+        // Both extremes stay in [0, 1] even for saturated buffers.
+        assert_eq!(buffer_utilization(&[64; 8], 0.0, 16), 1.0);
+        assert_eq!(buffer_utilization(&[64; 8], 1.0, 16), 1.0);
+    }
+
+    #[test]
+    fn beta_empty_and_degenerate_inputs() {
+        // No buffers (or zero capacity) → no pressure, never NaN.
+        assert_eq!(buffer_utilization(&[], 0.0, 16), 0.0);
+        assert_eq!(buffer_utilization(&[], 1.0, 16), 0.0);
+        assert_eq!(buffer_utilization(&[4, 4], 0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn admission_eta_extremes() {
+        // η = 0: only a completely idle network admits.
+        let strict = SchedulerParams {
+            eta: 0.0,
+            ..SchedulerParams::paper()
+        };
+        assert!(admit(0.0, &strict));
+        assert!(!admit(1e-9, &strict));
+        // η = 1: every pressure level admits (β is clamped to 1).
+        let lax = SchedulerParams {
+            eta: 1.0,
+            ..SchedulerParams::paper()
+        };
+        assert!(admit(1.0, &lax));
+        assert!(admit(buffer_utilization(&[1000; 4], 0.5, 16), &lax));
+    }
 }

@@ -151,14 +151,20 @@ impl BlockMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::Rng;
     use rand::SeedableRng;
-    use rand::rngs::StdRng;
 
     #[test]
     fn exact_block_mvm_matches_dense() {
         let mut rng = StdRng::seed_from_u64(21);
-        for (rows, cols, n) in [(5usize, 6usize, 4usize), (8, 8, 4), (3, 10, 4), (16, 4, 8), (1, 1, 4)] {
+        for (rows, cols, n) in [
+            (5usize, 6usize, 4usize),
+            (8, 8, 4),
+            (3, 10, 4),
+            (16, 4, 8),
+            (1, 1, 4),
+        ] {
             let m = RMat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
             let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let blocks = BlockMatrix::decompose(&m, n);

@@ -4,7 +4,7 @@
 //! blocks embedded into N×N meshes, unitary communication maps, and the
 //! decompositions that program them.
 
-use crate::{C64, LinalgError, Result};
+use crate::{LinalgError, Result, C64};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -234,7 +234,10 @@ impl CMat {
     ///
     /// Panics if `m + 1 >= n`.
     pub fn embed_2x2(n: usize, m: usize, t: [[C64; 2]; 2]) -> CMat {
-        assert!(m + 1 < n, "2x2 block at ({m}, {m}+1) out of range for n={n}");
+        assert!(
+            m + 1 < n,
+            "2x2 block at ({m}, {m}+1) out of range for n={n}"
+        );
         let mut out = CMat::identity(n);
         out[(m, m)] = t[0][0];
         out[(m, m + 1)] = t[0][1];

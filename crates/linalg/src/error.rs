@@ -42,7 +42,10 @@ impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinalgError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} elements, got {actual}"
+                )
             }
             LinalgError::NotAPermutation => write!(f, "index list is not a permutation"),
             LinalgError::NoConvergence { sweeps } => {
@@ -69,10 +72,15 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_nonempty() {
         let errs: Vec<LinalgError> = vec![
-            LinalgError::DimensionMismatch { expected: 4, actual: 3 },
+            LinalgError::DimensionMismatch {
+                expected: 4,
+                actual: 3,
+            },
             LinalgError::NotAPermutation,
             LinalgError::NoConvergence { sweeps: 60 },
-            LinalgError::NotUnitary { deviation_milli: 120 },
+            LinalgError::NotUnitary {
+                deviation_milli: 120,
+            },
             LinalgError::NotSquare { rows: 2, cols: 3 },
         ];
         for e in errs {

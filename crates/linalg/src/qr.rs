@@ -5,7 +5,7 @@
 //! canonical construction is `QR` of a complex Ginibre matrix with the `R`
 //! diagonal phases folded into `Q`.
 
-use crate::{C64, CMat};
+use crate::{CMat, C64};
 use rand::Rng;
 
 /// The result of a QR decomposition: `A = Q · R` with `Q` unitary and `R`
@@ -45,7 +45,11 @@ pub fn qr(a: &CMat) -> Qr {
         }
         // alpha = -e^{i arg(x0)} * |x|
         let x0 = v[0];
-        let phase = if x0.abs() < 1e-300 { C64::ONE } else { x0 / x0.abs() };
+        let phase = if x0.abs() < 1e-300 {
+            C64::ONE
+        } else {
+            x0 / x0.abs()
+        };
         let alpha = -phase * norm_x;
         v[0] = x0 - alpha;
         let vnorm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
@@ -110,7 +114,11 @@ pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
     let mut u = f.q;
     for j in 0..n {
         let d = f.r[(j, j)];
-        let ph = if d.abs() < 1e-300 { C64::ONE } else { d / d.abs() };
+        let ph = if d.abs() < 1e-300 {
+            C64::ONE
+        } else {
+            d / d.abs()
+        };
         for i in 0..n {
             let cur = u[(i, j)];
             u[(i, j)] = cur * ph;
@@ -150,14 +158,16 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn qr_reconstructs_square() {
         let mut rng = StdRng::seed_from_u64(1);
         for n in [1usize, 2, 3, 5, 8] {
-            let a = CMat::from_fn(n, n, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+            let a = CMat::from_fn(n, n, |_, _| {
+                C64::new(gaussian(&mut rng), gaussian(&mut rng))
+            });
             let f = qr(&a);
             assert!(f.q.is_unitary(1e-9), "Q not unitary for n={n}");
             assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9), "QR != A for n={n}");
@@ -167,7 +177,9 @@ mod tests {
     #[test]
     fn qr_reconstructs_tall() {
         let mut rng = StdRng::seed_from_u64(2);
-        let a = CMat::from_fn(6, 3, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+        let a = CMat::from_fn(6, 3, |_, _| {
+            C64::new(gaussian(&mut rng), gaussian(&mut rng))
+        });
         let f = qr(&a);
         assert!(f.q.is_unitary(1e-9));
         assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9));
@@ -176,7 +188,9 @@ mod tests {
     #[test]
     fn r_is_upper_triangular() {
         let mut rng = StdRng::seed_from_u64(3);
-        let a = CMat::from_fn(5, 5, |_, _| C64::new(gaussian(&mut rng), gaussian(&mut rng)));
+        let a = CMat::from_fn(5, 5, |_, _| {
+            C64::new(gaussian(&mut rng), gaussian(&mut rng))
+        });
         let f = qr(&a);
         for r in 1..5 {
             for c in 0..r {
@@ -212,7 +226,11 @@ mod tests {
     fn qr_handles_rank_deficient() {
         // Two identical columns.
         let a = CMat::from_fn(3, 3, |r, c| {
-            if c < 2 { C64::from_re(r as f64 + 1.0) } else { C64::from_re(1.0) }
+            if c < 2 {
+                C64::from_re(r as f64 + 1.0)
+            } else {
+                C64::from_re(1.0)
+            }
         });
         let f = qr(&a);
         assert!(f.q.is_unitary(1e-9));

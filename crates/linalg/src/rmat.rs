@@ -4,7 +4,7 @@
 //! real-valued; [`RMat`] carries them up to the point where they are lowered
 //! onto the photonic fabric (which works in [`crate::CMat`] E-field space).
 
-use crate::{C64, CMat, LinalgError, Result};
+use crate::{CMat, LinalgError, Result, C64};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -313,7 +313,10 @@ mod tests {
         let a = RMat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = RMat::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let p = a.matmul(&b);
-        assert_eq!(p, RMat::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]).unwrap());
+        assert_eq!(
+            p,
+            RMat::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]).unwrap()
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn svd(a: &RMat) -> Result<Svd> {
     if a.rows() < a.cols() {
         // Work on the transpose and swap the factors.
         let f = svd(&a.transpose())?;
-        return Ok(Svd { u: f.v, sigma: f.sigma, v: f.u });
+        return Ok(Svd {
+            u: f.v,
+            sigma: f.sigma,
+            v: f.u,
+        });
     }
 
     let m = a.rows();
@@ -130,7 +134,12 @@ pub fn svd(a: &RMat) -> Result<Svd> {
     // Column norms are the singular values.
     let mut order: Vec<usize> = (0..n).collect();
     let mut sigma: Vec<f64> = (0..n)
-        .map(|c| (0..m).map(|r| work[(r, c)] * work[(r, c)]).sum::<f64>().sqrt())
+        .map(|c| {
+            (0..m)
+                .map(|r| work[(r, c)] * work[(r, c)])
+                .sum::<f64>()
+                .sqrt()
+        })
         .collect();
     order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
 
@@ -168,7 +177,11 @@ pub fn svd(a: &RMat) -> Result<Svd> {
     // orthonormal completion; they contribute ≤ 1e-12·σ_max to the product.
     complete_orthonormal_basis(&mut u, rank);
 
-    Ok(Svd { u, sigma, v: v_sorted })
+    Ok(Svd {
+        u,
+        sigma,
+        v: v_sorted,
+    })
 }
 
 /// Fills columns `rank..m` of `u` with an orthonormal completion via
@@ -179,7 +192,9 @@ fn complete_orthonormal_basis(u: &mut RMat, rank: usize) {
     let mut candidate = 0usize;
     while next < m && candidate < 2 * m {
         // Start from a standard basis vector (cycled), orthogonalize.
-        let mut vec: Vec<f64> = (0..m).map(|r| if r == candidate % m { 1.0 } else { 0.0 }).collect();
+        let mut vec: Vec<f64> = (0..m)
+            .map(|r| if r == candidate % m { 1.0 } else { 0.0 })
+            .collect();
         for c in 0..next {
             let dot: f64 = (0..m).map(|r| vec[r] * u[(r, c)]).sum();
             for r in 0..m {
@@ -230,9 +245,9 @@ pub fn spectral_scale(m: &RMat) -> Result<(RMat, f64)> {
 mod tests {
     use super::*;
     use crate::random_orthogonal;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
     use rand::Rng;
+    use rand::SeedableRng;
 
     fn random_mat(rng: &mut StdRng, m: usize, n: usize) -> RMat {
         RMat::from_fn(m, n, |_, _| rng.gen_range(-2.0..2.0))
@@ -266,8 +281,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let a = random_mat(&mut rng, 6, 4);
         let f = svd(&a).unwrap();
-        assert!(f.u.transpose().matmul(&f.u).approx_eq(&RMat::identity(6), 1e-9));
-        assert!(f.v.transpose().matmul(&f.v).approx_eq(&RMat::identity(4), 1e-9));
+        assert!(f
+            .u
+            .transpose()
+            .matmul(&f.u)
+            .approx_eq(&RMat::identity(6), 1e-9));
+        assert!(f
+            .v
+            .transpose()
+            .matmul(&f.v)
+            .approx_eq(&RMat::identity(4), 1e-9));
     }
 
     #[test]
@@ -295,7 +318,11 @@ mod tests {
         let a = RMat::zeros(3, 3);
         let f = svd(&a).unwrap();
         assert!(f.sigma.iter().all(|&s| s == 0.0));
-        assert!(f.u.transpose().matmul(&f.u).approx_eq(&RMat::identity(3), 1e-9));
+        assert!(f
+            .u
+            .transpose()
+            .matmul(&f.u)
+            .approx_eq(&RMat::identity(3), 1e-9));
         assert!(f.reconstruct().approx_eq(&a, 1e-12));
     }
 
@@ -303,7 +330,10 @@ mod tests {
     fn rank_one_matrix() {
         let a = RMat::from_fn(4, 4, |r, c| ((r + 1) * (c + 1)) as f64);
         let f = svd(&a).unwrap();
-        assert!(f.sigma[1] < 1e-9, "rank-1 matrix should have one nonzero sigma");
+        assert!(
+            f.sigma[1] < 1e-9,
+            "rank-1 matrix should have one nonzero sigma"
+        );
         assert!(f.reconstruct().approx_eq(&a, 1e-8));
     }
 

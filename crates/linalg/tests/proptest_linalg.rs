@@ -1,8 +1,8 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use flumen_linalg::{
-    qr, random_orthogonal, random_unitary, spectral_norm, spectral_scale, svd, BlockMatrix, C64,
-    CMat, RMat,
+    qr, random_orthogonal, random_unitary, spectral_norm, spectral_scale, svd, BlockMatrix, CMat,
+    RMat, C64,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

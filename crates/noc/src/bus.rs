@@ -34,7 +34,12 @@ impl Default for BusConfig {
     fn default() -> Self {
         // Token circulation on the shared waveguide costs several cycles
         // per grant; the MZIM's centralized wavefront arbiter does not.
-        BusConfig { buses: 8, bus_bits_per_cycle: 256, port_latency: 3, arbitration_delay: 4 }
+        BusConfig {
+            buses: 8,
+            bus_bits_per_cycle: 256,
+            port_latency: 3,
+            arbitration_delay: 4,
+        }
     }
 }
 
@@ -197,7 +202,10 @@ mod tests {
 
     #[test]
     fn concurrency_limited_by_bus_count() {
-        let cfg = BusConfig { buses: 2, ..BusConfig::default() };
+        let cfg = BusConfig {
+            buses: 2,
+            ..BusConfig::default()
+        };
         let mut net = OpticalBus::new(16, cfg).unwrap();
         // 8 simultaneous senders, only 2 buses: deliveries spread in time.
         for s in 0..8 {
@@ -213,7 +221,14 @@ mod tests {
 
     #[test]
     fn round_robin_is_fair() {
-        let mut net = OpticalBus::new(4, BusConfig { buses: 1, ..BusConfig::default() }).unwrap();
+        let mut net = OpticalBus::new(
+            4,
+            BusConfig {
+                buses: 1,
+                ..BusConfig::default()
+            },
+        )
+        .unwrap();
         for s in 0..4 {
             for k in 0..4 {
                 net.inject(Packet::new((s * 4 + k) as u64, s, (s + 1) % 4, 512, 0));
@@ -242,12 +257,23 @@ mod tests {
             }
             net.step();
         }
-        assert!(net.pending() > 500, "backlog should accumulate: {}", net.pending());
+        assert!(
+            net.pending() > 500,
+            "backlog should accumulate: {}",
+            net.pending()
+        );
     }
 
     #[test]
     fn rejects_bad_config() {
         assert!(OpticalBus::new(1, BusConfig::default()).is_err());
-        assert!(OpticalBus::new(8, BusConfig { buses: 0, ..BusConfig::default() }).is_err());
+        assert!(OpticalBus::new(
+            8,
+            BusConfig {
+                buses: 0,
+                ..BusConfig::default()
+            }
+        )
+        .is_err());
     }
 }

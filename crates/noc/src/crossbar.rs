@@ -34,7 +34,11 @@ pub struct CrossbarConfig {
 
 impl Default for CrossbarConfig {
     fn default() -> Self {
-        CrossbarConfig { bits_per_cycle: 256, reconfig_cycles: 3, port_latency: 2 }
+        CrossbarConfig {
+            bits_per_cycle: 256,
+            reconfig_cycles: 3,
+            port_latency: 2,
+        }
     }
 }
 
@@ -69,12 +73,16 @@ impl MzimCrossbar {
     /// Returns [`NocError::InvalidTopology`] for fewer than 2 endpoints.
     pub fn new(nodes: usize, cfg: CrossbarConfig) -> Result<Self> {
         if nodes < 2 {
-            return Err(NocError::InvalidTopology { reason: "crossbar needs ≥ 2 nodes".into() });
+            return Err(NocError::InvalidTopology {
+                reason: "crossbar needs ≥ 2 nodes".into(),
+            });
         }
         Ok(MzimCrossbar {
             nodes,
             cfg,
-            voq: (0..nodes).map(|_| (0..nodes).map(|_| VecDeque::new()).collect()).collect(),
+            voq: (0..nodes)
+                .map(|_| (0..nodes).map(|_| VecDeque::new()).collect())
+                .collect(),
             mcast_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
             arb: WavefrontArbiter::new(nodes),
             in_busy_until: vec![0; nodes],
@@ -101,7 +109,10 @@ impl MzimCrossbar {
     pub fn reserve_wires(&mut self, wires: &[usize]) -> Result<()> {
         for &w in wires {
             if w >= self.nodes {
-                return Err(NocError::InvalidNode { node: w, nodes: self.nodes });
+                return Err(NocError::InvalidNode {
+                    node: w,
+                    nodes: self.nodes,
+                });
             }
         }
         for &w in wires {
@@ -118,7 +129,10 @@ impl MzimCrossbar {
     pub fn release_wires(&mut self, wires: &[usize]) -> Result<()> {
         for &w in wires {
             if w >= self.nodes {
-                return Err(NocError::InvalidNode { node: w, nodes: self.nodes });
+                return Err(NocError::InvalidNode {
+                    node: w,
+                    nodes: self.nodes,
+                });
             }
         }
         for &w in wires {
@@ -153,7 +167,11 @@ impl MzimCrossbar {
             self.stats.reconfigurations += 1;
             self.cfg.reconfig_cycles
         };
-        self.last_config[input] = if dests.len() == 1 { Some(dests[0]) } else { None };
+        self.last_config[input] = if dests.len() == 1 {
+            Some(dests[0])
+        } else {
+            None
+        };
         let busy = now + reconf + ser;
         self.in_busy_until[input] = busy;
         for &d in &dests {
@@ -296,7 +314,10 @@ mod tests {
         let got = drain(&mut net, 20);
         assert_eq!(got.len(), 16);
         let max_at = got.iter().map(|d| d.at).max().unwrap();
-        assert!(max_at <= 10, "all transfers should overlap, last at {max_at}");
+        assert!(
+            max_at <= 10,
+            "all transfers should overlap, last at {max_at}"
+        );
     }
 
     #[test]

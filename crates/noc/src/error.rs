@@ -43,7 +43,11 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        assert!(!NocError::InvalidNode { node: 9, nodes: 4 }.to_string().is_empty());
-        assert!(!NocError::InvalidTopology { reason: "x".into() }.to_string().is_empty());
+        assert!(!NocError::InvalidNode { node: 9, nodes: 4 }
+            .to_string()
+            .is_empty());
+        assert!(!NocError::InvalidTopology { reason: "x".into() }
+            .to_string()
+            .is_empty());
     }
 }

@@ -86,8 +86,7 @@ pub fn measure_point<N: Network + ?Sized>(
     let stats = net.stats();
     let backlog_after = net.pending();
     // Saturated when the backlog grows materially over the measured window.
-    let saturated = backlog_after > backlog_before + (n * 8)
-        || stats.avg_latency().is_none();
+    let saturated = backlog_after > backlog_before + (n * 8) || stats.avg_latency().is_none();
     LatencyPoint {
         offered_load,
         avg_latency: stats.avg_latency().unwrap_or(f64::INFINITY),
@@ -150,7 +149,11 @@ mod tests {
     use crate::routed::RoutedNetwork;
 
     fn quick_cfg() -> RunConfig {
-        RunConfig { warmup: 500, measure: 3_000, ..RunConfig::default() }
+        RunConfig {
+            warmup: 500,
+            measure: 3_000,
+            ..RunConfig::default()
+        }
     }
 
     #[test]
@@ -220,8 +223,9 @@ mod tests {
     #[test]
     fn run_schedule_drains() {
         let mut net = MzimCrossbar::flumen_16();
-        let schedule: Vec<Packet> =
-            (0..64).map(|k| Packet::new(k, (k % 16) as usize, ((k + 3) % 16) as usize, 512, k)).collect();
+        let schedule: Vec<Packet> = (0..64)
+            .map(|k| Packet::new(k, (k % 16) as usize, ((k + 3) % 16) as usize, 512, k))
+            .collect();
         let cycles = run_schedule(&mut net, schedule, 50_000);
         assert_eq!(net.pending(), 0);
         assert!(cycles < 50_000);

@@ -31,7 +31,15 @@ pub struct Packet {
 impl Packet {
     /// Creates a unicast packet.
     pub fn new(id: u64, src: usize, dst: usize, bits: u32, created_at: u64) -> Self {
-        Packet { id, src, dst, bits, created_at, extra_dests: Vec::new(), tag: 0 }
+        Packet {
+            id,
+            src,
+            dst,
+            bits,
+            created_at,
+            extra_dests: Vec::new(),
+            tag: 0,
+        }
     }
 
     /// Creates a multicast packet; `dsts` must be non-empty.
@@ -68,7 +76,9 @@ impl Packet {
     /// Serialization time over a link moving `bits_per_cycle` bits per
     /// cycle (at least 1 cycle).
     pub fn ser_cycles(&self, bits_per_cycle: u32) -> u64 {
-        (self.bits as u64).div_ceil(bits_per_cycle.max(1) as u64).max(1)
+        (self.bits as u64)
+            .div_ceil(bits_per_cycle.max(1) as u64)
+            .max(1)
     }
 }
 

@@ -105,10 +105,14 @@ impl RoutedNetwork {
     pub fn new(topo: RoutedTopology, cfg: RoutedConfig) -> Result<Self> {
         match topo {
             RoutedTopology::Ring { nodes } if nodes < 3 => {
-                return Err(NocError::InvalidTopology { reason: "ring needs ≥ 3 nodes".into() })
+                return Err(NocError::InvalidTopology {
+                    reason: "ring needs ≥ 3 nodes".into(),
+                })
             }
             RoutedTopology::Mesh { width, height } if width < 2 || height < 2 => {
-                return Err(NocError::InvalidTopology { reason: "mesh needs ≥ 2×2".into() })
+                return Err(NocError::InvalidTopology {
+                    reason: "mesh needs ≥ 2×2".into(),
+                })
             }
             _ => {}
         }
@@ -145,7 +149,10 @@ impl RoutedNetwork {
     /// A 4×4 mesh with Table 1 parameters.
     pub fn mesh_4x4() -> Self {
         RoutedNetwork::new(
-            RoutedTopology::Mesh { width: 4, height: 4 },
+            RoutedTopology::Mesh {
+                width: 4,
+                height: 4,
+            },
             RoutedConfig::default(),
         )
         .expect("4x4 mesh is valid")
@@ -153,8 +160,8 @@ impl RoutedNetwork {
 
     fn neighbor_ports(topo: &RoutedTopology) -> usize {
         match topo {
-            RoutedTopology::Ring { .. } => 2,  // CW, CCW
-            RoutedTopology::Mesh { .. } => 4,  // E, W, N, S
+            RoutedTopology::Ring { .. } => 2, // CW, CCW
+            RoutedTopology::Mesh { .. } => 4, // E, W, N, S
         }
     }
 
@@ -192,15 +199,15 @@ impl RoutedNetwork {
     fn link_endpoint(&self, at: usize, p: usize) -> (usize, usize) {
         match self.topo {
             RoutedTopology::Ring { nodes } => match p {
-                0 => ((at + 1) % nodes, 1),          // CW arrives on the CCW-side port
-                1 => ((at + nodes - 1) % nodes, 0),  // CCW arrives on the CW-side port
+                0 => ((at + 1) % nodes, 1),         // CW arrives on the CCW-side port
+                1 => ((at + nodes - 1) % nodes, 0), // CCW arrives on the CW-side port
                 _ => unreachable!("ring has 2 neighbor ports"),
             },
             RoutedTopology::Mesh { width, .. } => match p {
-                0 => (at + 1, 1),       // east, arrives on west port
-                1 => (at - 1, 0),       // west
-                2 => (at - width, 3),   // north, arrives on south port
-                3 => (at + width, 2),   // south
+                0 => (at + 1, 1),     // east, arrives on west port
+                1 => (at - 1, 0),     // west
+                2 => (at - width, 3), // north, arrives on south port
+                3 => (at + width, 2), // south
                 _ => unreachable!("mesh has 4 neighbor ports"),
             },
         }
@@ -223,7 +230,9 @@ impl RoutedNetwork {
         let start = self.routers[r].rr;
         for k in 0..nports {
             let in_port = (start + k) % nports;
-            let Some(head) = self.routers[r].inputs[in_port].front() else { continue };
+            let Some(head) = self.routers[r].inputs[in_port].front() else {
+                continue;
+            };
             if head.ready_at > now {
                 continue;
             }
@@ -235,7 +244,9 @@ impl RoutedNetwork {
                 if self.routers[r].out_busy_until[eject_port] > now {
                     continue;
                 }
-                let tp = self.routers[r].inputs[in_port].pop_front().expect("head exists");
+                let tp = self.routers[r].inputs[in_port]
+                    .pop_front()
+                    .expect("head exists");
                 self.routers[r].out_busy_until[eject_port] = now + 1;
                 self.in_flight.push((now + 1, r, usize::MAX, tp));
                 continue;
@@ -251,14 +262,17 @@ impl RoutedNetwork {
             if self.queue_len(next, next_in) + spare_needed > self.cfg.input_queue_pkts {
                 continue;
             }
-            let mut tp = self.routers[r].inputs[in_port].pop_front().expect("head exists");
+            let mut tp = self.routers[r].inputs[in_port]
+                .pop_front()
+                .expect("head exists");
             let ser = tp.pkt.ser_cycles(self.cfg.link_bits_per_cycle);
             self.routers[r].out_busy_until[out] = now + ser;
             let lid = self.link_id(r, out);
             self.stats.link_busy[lid] += ser;
             self.stats.bit_hops += tp.pkt.bits as u64;
             tp.ready_at = now + ser + self.cfg.link_latency + self.cfg.router_delay;
-            self.in_flight.push((now + ser + self.cfg.link_latency, next, next_in, tp));
+            self.in_flight
+                .push((now + ser + self.cfg.link_latency, next, next_in, tp));
         }
         self.routers[r].rr = (start + 1) % nports;
     }
@@ -309,7 +323,10 @@ impl Network for RoutedNetwork {
                 if in_port == usize::MAX {
                     let lat = now.saturating_sub(tp.pkt.created_at);
                     self.stats.record_latency(lat);
-                    deliveries.push(Delivery { packet: tp.pkt, at: now });
+                    deliveries.push(Delivery {
+                        packet: tp.pkt,
+                        at: now,
+                    });
                 } else {
                     self.routers[node].inputs[in_port].push_back(tp);
                 }
@@ -447,8 +464,17 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_shapes() {
-        assert!(RoutedNetwork::new(RoutedTopology::Ring { nodes: 2 }, RoutedConfig::default()).is_err());
-        assert!(RoutedNetwork::new(RoutedTopology::Mesh { width: 1, height: 4 }, RoutedConfig::default()).is_err());
+        assert!(
+            RoutedNetwork::new(RoutedTopology::Ring { nodes: 2 }, RoutedConfig::default()).is_err()
+        );
+        assert!(RoutedNetwork::new(
+            RoutedTopology::Mesh {
+                width: 1,
+                height: 4
+            },
+            RoutedConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

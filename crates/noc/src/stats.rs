@@ -32,7 +32,10 @@ pub struct NetStats {
 impl NetStats {
     /// Creates zeroed statistics with `links` utilization counters.
     pub fn new(links: usize) -> Self {
-        NetStats { link_busy: vec![0; links], ..NetStats::default() }
+        NetStats {
+            link_busy: vec![0; links],
+            ..NetStats::default()
+        }
     }
 
     /// Records one delivery latency into the aggregate counters.
@@ -89,7 +92,10 @@ impl NetStats {
         if self.cycles == 0 {
             return vec![0.0; self.link_busy.len()];
         }
-        self.link_busy.iter().map(|&b| b as f64 / self.cycles as f64).collect()
+        self.link_busy
+            .iter()
+            .map(|&b| b as f64 / self.cycles as f64)
+            .collect()
     }
 
     /// Delivered throughput in packets per node per cycle.

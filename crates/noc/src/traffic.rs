@@ -80,7 +80,11 @@ impl TrafficPattern {
                 }
             }
         };
-        if dst == src { (src + 1) % n } else { dst }
+        if dst == src {
+            (src + 1) % n
+        } else {
+            dst
+        }
     }
 }
 
@@ -112,8 +116,19 @@ pub struct BernoulliInjector {
 impl BernoulliInjector {
     /// Creates an injector offering `rate` of link bandwidth with the given
     /// pattern.
-    pub fn new(rate: f64, packet_bits: u32, link_bits_per_cycle: u32, pattern: TrafficPattern) -> Self {
-        BernoulliInjector { rate, packet_bits, link_bits_per_cycle, pattern, next_id: 0 }
+    pub fn new(
+        rate: f64,
+        packet_bits: u32,
+        link_bits_per_cycle: u32,
+        pattern: TrafficPattern,
+    ) -> Self {
+        BernoulliInjector {
+            rate,
+            packet_bits,
+            link_bits_per_cycle,
+            pattern,
+            next_id: 0,
+        }
     }
 
     /// Probability that a node generates a packet in a given cycle.
@@ -134,7 +149,13 @@ impl BernoulliInjector {
         for src in 0..n {
             if rng.gen_bool(p) {
                 let dst = self.pattern.destination(src, n, rng);
-                out.push(crate::Packet::new(self.next_id, src, dst, self.packet_bits, cycle));
+                out.push(crate::Packet::new(
+                    self.next_id,
+                    src,
+                    dst,
+                    self.packet_bits,
+                    cycle,
+                ));
                 self.next_id += 1;
             }
         }
@@ -168,8 +189,14 @@ mod tests {
     #[test]
     fn complement_pattern() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(TrafficPattern::BitComplement.destination(0, 16, &mut rng), 15);
-        assert_eq!(TrafficPattern::BitComplement.destination(5, 16, &mut rng), 10);
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(0, 16, &mut rng),
+            15
+        );
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(5, 16, &mut rng),
+            10
+        );
     }
 
     #[test]
@@ -206,7 +233,10 @@ mod tests {
         }
         let expected = 0.5 * 16.0 * cycles as f64;
         let ratio = total as f64 / expected;
-        assert!((0.9..1.1).contains(&ratio), "generated {total}, expected ≈{expected}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "generated {total}, expected ≈{expected}"
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ fn check_conservation<N: Network>(mut net: N, seed: u64, packets: usize) -> Resu
         return Err("network failed to drain".into());
     }
     if delivered.len() != expected.len() {
-        return Err(format!("{} of {} delivered", delivered.len(), expected.len()));
+        return Err(format!(
+            "{} of {} delivered",
+            delivered.len(),
+            expected.len()
+        ));
     }
     for (id, dst) in expected {
         if delivered.get(&id) != Some(&dst) {

@@ -34,7 +34,12 @@ pub struct AnalogModel {
 impl AnalogModel {
     /// An ideal (noise- and quantization-free) model.
     pub fn ideal() -> Self {
-        AnalogModel { input_bits: 0, phase_bits: 0, output_bits: 0, readout_noise_rel: 0.0 }
+        AnalogModel {
+            input_bits: 0,
+            phase_bits: 0,
+            output_bits: 0,
+            readout_noise_rel: 0.0,
+        }
     }
 
     /// The paper's 8-bit equivalent operating point.
@@ -193,7 +198,10 @@ mod tests {
 
     #[test]
     fn readout_noise_deterministic_per_seed() {
-        let m = AnalogModel { readout_noise_rel: 0.01, ..AnalogModel::ideal() };
+        let m = AnalogModel {
+            readout_noise_rel: 0.01,
+            ..AnalogModel::ideal()
+        };
         let mut a = vec![1.0, -0.5, 0.25];
         let mut b = vec![1.0, -0.5, 0.25];
         m.apply_readout(&mut a, 7);

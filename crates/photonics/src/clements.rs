@@ -13,7 +13,7 @@
 use crate::mesh::MzimMesh;
 use crate::mzi::MziPhase;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{C64, CMat};
+use flumen_linalg::{CMat, C64};
 
 /// Tolerance for the unitarity check on input matrices.
 const UNITARY_TOL: f64 = 1e-8;
@@ -59,7 +59,10 @@ pub struct MeshProgram {
 pub fn decompose(u: &CMat) -> Result<MeshProgram> {
     let n = u.rows();
     if !u.is_square() || n < 2 {
-        return Err(PhotonicsError::InvalidSize { n, requirement: "unitary must be square, ≥ 2×2" });
+        return Err(PhotonicsError::InvalidSize {
+            n,
+            requirement: "unitary must be square, ≥ 2×2",
+        });
     }
     let dev = deviation_from_unitary(u);
     if dev > UNITARY_TOL {
@@ -92,7 +95,11 @@ pub fn decompose(u: &CMat) -> Result<MeshProgram> {
 
     // W is now diagonal (unitary and upper triangular).
     let mut diag: Vec<C64> = (0..n).map(|k| w[(k, k)]).collect();
-    debug_assert!(offdiag_max(&w) < 1e-7, "nulling left residue {:.3e}", offdiag_max(&w));
+    debug_assert!(
+        offdiag_max(&w) < 1e-7,
+        "nulling left residue {:.3e}",
+        offdiag_max(&w)
+    );
 
     // U = T†_{L1} … T†_{Lq} · D · T_{Rp} … T_{R1}
     // (right-op daggers applied during nulling invert back to plain T's;
@@ -101,18 +108,18 @@ pub fn decompose(u: &CMat) -> Result<MeshProgram> {
     // outwards, accumulating new T's that are applied *after* the right ops.
     let mut ops = right_ops;
     for &(mode, phase) in left_ops.iter().rev() {
-        let (new_phase, d_pair) = commute_dagger_through_diag(
-            phase,
-            diag[mode],
-            diag[mode + 1],
-        );
+        let (new_phase, d_pair) = commute_dagger_through_diag(phase, diag[mode], diag[mode + 1]);
         diag[mode] = d_pair.0;
         diag[mode + 1] = d_pair.1;
         ops.push((mode, new_phase));
     }
 
     let output_phases: Vec<f64> = diag.iter().map(|d| d.arg()).collect();
-    Ok(MeshProgram { n, ops, output_phases })
+    Ok(MeshProgram {
+        n,
+        ops,
+        output_phases,
+    })
 }
 
 /// Programs a physical mesh so its transfer matrix equals `u`.
@@ -128,7 +135,10 @@ pub fn decompose(u: &CMat) -> Result<MeshProgram> {
 /// unitary's.
 pub fn program_mesh(mesh: &mut MzimMesh, u: &CMat) -> Result<()> {
     if mesh.n() != u.rows() {
-        return Err(PhotonicsError::DimensionMismatch { expected: mesh.n(), actual: u.rows() });
+        return Err(PhotonicsError::DimensionMismatch {
+            expected: mesh.n(),
+            actual: u.rows(),
+        });
     }
     let prog = decompose(u)?;
     apply_program(mesh, &prog)
@@ -144,7 +154,10 @@ pub fn program_mesh(mesh: &mut MzimMesh, u: &CMat) -> Result<()> {
 /// mesh's columns.
 pub fn apply_program(mesh: &mut MzimMesh, prog: &MeshProgram) -> Result<()> {
     if mesh.n() != prog.n {
-        return Err(PhotonicsError::DimensionMismatch { expected: mesh.n(), actual: prog.n });
+        return Err(PhotonicsError::DimensionMismatch {
+            expected: mesh.n(),
+            actual: prog.n,
+        });
     }
     mesh.reset();
     // ASAP schedule: wire_free[w] = first column where wire w is available.
@@ -156,7 +169,10 @@ pub fn apply_program(mesh: &mut MzimMesh, prog: &MeshProgram) -> Result<()> {
         }
         if col >= mesh.column_count() {
             return Err(PhotonicsError::NotRoutable {
-                reason: format!("op on mode {mode} needs column {col}, mesh has {}", mesh.column_count()),
+                reason: format!(
+                    "op on mode {mode} needs column {col}, mesh has {}",
+                    mesh.column_count()
+                ),
             });
         }
         mesh.set_phase(col, mode, phase)?;
@@ -214,7 +230,10 @@ pub fn apply_program_in_range(
         }
         if col >= col0 + cols {
             return Err(PhotonicsError::NotRoutable {
-                reason: format!("op on mode {gmode} needs column {col}, range ends at {}", col0 + cols),
+                reason: format!(
+                    "op on mode {gmode} needs column {col}, range ends at {}",
+                    col0 + cols
+                ),
             });
         }
         assigned[col].push((gmode, phase));
@@ -295,7 +314,11 @@ fn null_right(w: &mut CMat, r: usize, c: usize) -> (usize, MziPhase) {
         MziPhase::new(2.0 * rho.abs().atan(), -rho.arg())
     };
     apply_dagger_right(w, c, phase);
-    debug_assert!(w[(r, c)].abs() < 1e-9, "right null failed: {:.3e}", w[(r, c)].abs());
+    debug_assert!(
+        w[(r, c)].abs() < 1e-9,
+        "right null failed: {:.3e}",
+        w[(r, c)].abs()
+    );
     (c, phase)
 }
 
@@ -313,7 +336,11 @@ fn null_left(w: &mut CMat, r: usize, c: usize) -> (usize, MziPhase) {
         MziPhase::new(2.0 * rho.abs().atan(), -rho.arg())
     };
     apply_left(w, m, phase);
-    debug_assert!(w[(r, c)].abs() < 1e-9, "left null failed: {:.3e}", w[(r, c)].abs());
+    debug_assert!(
+        w[(r, c)].abs() < 1e-9,
+        "left null failed: {:.3e}",
+        w[(r, c)].abs()
+    );
     (m, phase)
 }
 
@@ -335,11 +362,7 @@ fn apply_dagger_right(w: &mut CMat, mode: usize, phase: MziPhase) {
 ///
 /// Both sides are 2×2 unitary; matching magnitudes gives `θ'` directly and
 /// the remaining phases follow from element ratios.
-fn commute_dagger_through_diag(
-    phase: MziPhase,
-    d0: C64,
-    d1: C64,
-) -> (MziPhase, (C64, C64)) {
+fn commute_dagger_through_diag(phase: MziPhase, d0: C64, d1: C64) -> (MziPhase, (C64, C64)) {
     let t = phase.transfer();
     // A = T† · diag(d0, d1)
     let a00 = t[0][0].conj() * d0;
@@ -356,7 +379,11 @@ fn commute_dagger_through_diag(
 
     let (alpha, phi) = if a01.abs() > TINY {
         let alpha = a01 / (g * cp);
-        let phi = if a00.abs() > TINY { (a00 / (alpha * g * sp)).arg() } else { 0.0 };
+        let phi = if a00.abs() > TINY {
+            (a00 / (alpha * g * sp)).arg()
+        } else {
+            0.0
+        };
         (alpha, phi)
     } else {
         // θ' = π (bar-like): T01 = 0; pick φ' = 0 and recover α from A00.
@@ -440,13 +467,19 @@ mod tests {
     #[test]
     fn rejects_non_unitary() {
         let m = CMat::from_fn(3, 3, |r, c| C64::from_re((r + c) as f64));
-        assert!(matches!(decompose(&m), Err(PhotonicsError::NotUnitary { .. })));
+        assert!(matches!(
+            decompose(&m),
+            Err(PhotonicsError::NotUnitary { .. })
+        ));
     }
 
     #[test]
     fn rejects_too_small() {
         let m = CMat::identity(1);
-        assert!(matches!(decompose(&m), Err(PhotonicsError::InvalidSize { .. })));
+        assert!(matches!(
+            decompose(&m),
+            Err(PhotonicsError::InvalidSize { .. })
+        ));
     }
 
     #[test]

@@ -89,11 +89,19 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = vec![
-            PhotonicsError::InvalidSize { n: 3, requirement: "must be divisible by 4" },
+            PhotonicsError::InvalidSize {
+                n: 3,
+                requirement: "must be divisible by 4",
+            },
             PhotonicsError::NotUnitary { deviation: 0.5 },
             PhotonicsError::SingularValueTooLarge { sigma: 1.5 },
-            PhotonicsError::NotRoutable { reason: "reconvergent multicast".into() },
-            PhotonicsError::DimensionMismatch { expected: 8, actual: 4 },
+            PhotonicsError::NotRoutable {
+                reason: "reconvergent multicast".into(),
+            },
+            PhotonicsError::DimensionMismatch {
+                expected: 8,
+                actual: 4,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -24,7 +24,7 @@ use crate::mesh::MzimMesh;
 use crate::mzi::Attenuator;
 use crate::routing;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{spectral_scale, svd, C64, CMat, RMat};
+use flumen_linalg::{spectral_scale, svd, CMat, RMat, C64};
 
 /// What a fabric partition is currently doing.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,7 +136,11 @@ impl FlumenFabric {
             mid_phases: vec![0.0; n],
             attens: vec![Attenuator::transparent(); n],
             out_phases: vec![0.0; n],
-            partitions: vec![Partition { base: 0, width: n, role: PartitionRole::Idle }],
+            partitions: vec![Partition {
+                base: 0,
+                width: n,
+                role: PartitionRole::Idle,
+            }],
         })
     }
 
@@ -161,8 +165,11 @@ impl FlumenFabric {
         self.mid_phases.fill(0.0);
         self.attens = vec![Attenuator::transparent(); self.n];
         self.out_phases.fill(0.0);
-        self.partitions =
-            vec![Partition { base: 0, width: self.n, role: PartitionRole::Idle }];
+        self.partitions = vec![Partition {
+            base: 0,
+            width: self.n,
+            role: PartitionRole::Idle,
+        }];
     }
 
     /// Programs the whole fabric as one `N×N` unitary (communication mode;
@@ -179,8 +186,11 @@ impl FlumenFabric {
             self.mesh.set_output_phases(&vec![0.0; self.n])?;
             p
         });
-        self.partitions =
-            vec![Partition { base: 0, width: self.n, role: PartitionRole::Communication }];
+        self.partitions = vec![Partition {
+            base: 0,
+            width: self.n,
+            role: PartitionRole::Communication,
+        }];
         Ok(())
     }
 
@@ -192,8 +202,11 @@ impl FlumenFabric {
     pub fn configure_permutation(&mut self, perm: &[usize]) -> Result<()> {
         self.reset();
         routing::route_permutation(&mut self.mesh, perm)?;
-        self.partitions =
-            vec![Partition { base: 0, width: self.n, role: PartitionRole::Communication }];
+        self.partitions = vec![Partition {
+            base: 0,
+            width: self.n,
+            role: PartitionRole::Communication,
+        }];
         Ok(())
     }
 
@@ -205,8 +218,11 @@ impl FlumenFabric {
     pub fn configure_multicast(&mut self, src: usize, dests: &[usize]) -> Result<()> {
         self.reset();
         routing::route_multicast(&mut self.mesh, src, dests)?;
-        self.partitions =
-            vec![Partition { base: 0, width: self.n, role: PartitionRole::Communication }];
+        self.partitions = vec![Partition {
+            base: 0,
+            width: self.n,
+            role: PartitionRole::Communication,
+        }];
         Ok(())
     }
 
@@ -240,7 +256,11 @@ impl FlumenFabric {
                     PartitionRole::Compute { scale }
                 }
             };
-            self.partitions.push(Partition { base, width: *width, role });
+            self.partitions.push(Partition {
+                base,
+                width: *width,
+                role,
+            });
             base += width;
         }
         Ok(())
@@ -250,7 +270,10 @@ impl FlumenFabric {
     /// the spectral-norm scale factor.
     fn program_compute_partition(&mut self, base: usize, w: usize, m: &RMat) -> Result<f64> {
         if m.rows() != w || m.cols() != w {
-            return Err(PhotonicsError::DimensionMismatch { expected: w, actual: m.rows() });
+            return Err(PhotonicsError::DimensionMismatch {
+                expected: w,
+                actual: m.rows(),
+            });
         }
         if w > self.n / 2 {
             return Err(PhotonicsError::InvalidSize {
@@ -312,9 +335,13 @@ impl FlumenFabric {
     }
 
     fn comm_partition(&self, part: usize) -> Result<Partition> {
-        let p = self.partitions.get(part).cloned().ok_or(PhotonicsError::NotRoutable {
-            reason: format!("no partition {part}"),
-        })?;
+        let p = self
+            .partitions
+            .get(part)
+            .cloned()
+            .ok_or(PhotonicsError::NotRoutable {
+                reason: format!("no partition {part}"),
+            })?;
         if p.role != PartitionRole::Communication {
             return Err(PhotonicsError::NotRoutable {
                 reason: format!("partition {part} is not a communication partition"),
@@ -349,9 +376,12 @@ impl FlumenFabric {
         model: &AnalogModel,
         seed: u64,
     ) -> Result<Vec<f64>> {
-        let p = self.partitions.get(part).ok_or(PhotonicsError::NotRoutable {
-            reason: format!("no partition {part}"),
-        })?;
+        let p = self
+            .partitions
+            .get(part)
+            .ok_or(PhotonicsError::NotRoutable {
+                reason: format!("no partition {part}"),
+            })?;
         let scale = match p.role {
             PartitionRole::Compute { scale } => scale,
             _ => {
@@ -361,7 +391,10 @@ impl FlumenFabric {
             }
         };
         if x.len() != p.width {
-            return Err(PhotonicsError::DimensionMismatch { expected: p.width, actual: x.len() });
+            return Err(PhotonicsError::DimensionMismatch {
+                expected: p.width,
+                actual: x.len(),
+            });
         }
         let mut xq = x.to_vec();
         model.quantize_inputs(&mut xq);
@@ -444,7 +477,11 @@ impl FlumenFabric {
                     if slot.phase.is_bar() {
                         mzis += 1;
                     } else if slot.phase.is_cross() {
-                        wire = if slot.mode == wire { slot.mode + 1 } else { slot.mode };
+                        wire = if slot.mode == wire {
+                            slot.mode + 1
+                        } else {
+                            slot.mode
+                        };
                         mzis += 1;
                     } else {
                         return None;
@@ -455,7 +492,11 @@ impl FlumenFabric {
             }
             let _ = found;
         }
-        Some(FabricTrace { mzis_traversed: mzis, mid_wire, output: wire })
+        Some(FabricTrace {
+            mzis_traversed: mzis,
+            mid_wire,
+            output: wire,
+        })
     }
 
     /// Equalizes routed-path losses using the attenuator column (paper
@@ -473,9 +514,11 @@ impl FlumenFabric {
         let mzi_db = dev.mzi_loss_db();
         let mut traces = Vec::with_capacity(self.n);
         for src in 0..self.n {
-            let t = self.trace_route(src).ok_or_else(|| PhotonicsError::NotRoutable {
-                reason: "fabric is not in a pure cross/bar routing state".into(),
-            })?;
+            let t = self
+                .trace_route(src)
+                .ok_or_else(|| PhotonicsError::NotRoutable {
+                    reason: "fabric is not in a pure cross/bar routing state".into(),
+                })?;
             traces.push(t);
         }
         let worst = traces.iter().map(|t| t.mzis_traversed).max().unwrap_or(0) as f64 * mzi_db;
@@ -504,7 +547,11 @@ mod tests {
     fn power_out(fabric: &FlumenFabric, src: usize) -> Vec<f64> {
         let mut input = vec![C64::ZERO; fabric.n()];
         input[src] = C64::ONE;
-        fabric.propagate(&input).iter().map(|f| f.norm_sqr()).collect()
+        fabric
+            .propagate(&input)
+            .iter()
+            .map(|f| f.norm_sqr())
+            .collect()
     }
 
     #[test]
@@ -544,7 +591,8 @@ mod tests {
     #[test]
     fn whole_fabric_broadcast() {
         let mut f = FlumenFabric::new(8).unwrap();
-        f.configure_multicast(3, &(0..8).collect::<Vec<_>>()).unwrap();
+        f.configure_multicast(3, &(0..8).collect::<Vec<_>>())
+            .unwrap();
         let p = power_out(&f, 3);
         for w in p {
             assert!((w - 0.125).abs() < 1e-9);
@@ -611,7 +659,10 @@ mod tests {
         // Compute partitions wider than N/2 rejected.
         let m = RMat::identity(6);
         assert!(f
-            .set_partitions(&[(6, PartitionConfig::Compute(&m)), (2, PartitionConfig::Idle)])
+            .set_partitions(&[
+                (6, PartitionConfig::Compute(&m)),
+                (2, PartitionConfig::Idle)
+            ])
             .is_err());
     }
 
@@ -628,8 +679,11 @@ mod tests {
         // A matrix with norm > 1 still computes correctly end to end.
         let m = RMat::from_fn(4, 4, |r, c| if r == c { 3.0 } else { 0.5 });
         let mut f = FlumenFabric::new(8).unwrap();
-        f.set_partitions(&[(4, PartitionConfig::Compute(&m)), (4, PartitionConfig::Idle)])
-            .unwrap();
+        f.set_partitions(&[
+            (4, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ])
+        .unwrap();
         match &f.partitions()[0].role {
             PartitionRole::Compute { scale } => assert!(*scale > 1.0),
             other => panic!("expected compute role, got {other:?}"),
@@ -649,8 +703,9 @@ mod tests {
         let perm = [7usize, 0, 5, 2, 6, 1, 4, 3];
         f.configure_permutation(&perm).unwrap();
         // Path MZI counts differ before equalization.
-        let counts: Vec<usize> =
-            (0..8).map(|s| f.trace_route(s).unwrap().mzis_traversed).collect();
+        let counts: Vec<usize> = (0..8)
+            .map(|s| f.trace_route(s).unwrap().mzis_traversed)
+            .collect();
         assert!(counts.iter().max() != counts.iter().min());
         let worst_db = f.equalize_losses(&dev).unwrap();
         assert!(worst_db > 0.0);
@@ -675,8 +730,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
         let mut f = FlumenFabric::new(8).unwrap();
-        f.set_partitions(&[(4, PartitionConfig::Compute(&m)), (4, PartitionConfig::Idle)])
-            .unwrap();
+        f.set_partitions(&[
+            (4, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ])
+        .unwrap();
         let model = AnalogModel::eight_bit();
         let x = [0.9, -0.6, 0.3, -0.1];
         let y = f.compute_in_with_model(0, &x, &model, 11).unwrap();

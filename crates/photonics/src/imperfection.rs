@@ -212,7 +212,10 @@ mod tests {
             ThermalModel::new(sigma, 11).apply(&mut mesh);
             samples.push(crosstalk_floor_db(&mesh));
         }
-        assert!(samples[0] < samples[1] && samples[1] < samples[2], "{samples:?}");
+        assert!(
+            samples[0] < samples[1] && samples[1] < samples[2],
+            "{samples:?}"
+        );
     }
 
     #[test]
@@ -224,7 +227,10 @@ mod tests {
         ThermalModel::new(0.02, 5).apply(&mut mesh);
         let err = (&mesh.transfer_matrix() - &u).max_abs();
         assert!(err > 1e-6, "perturbation must be visible");
-        assert!(err < 0.2, "but small drift must not destroy the unitary: {err}");
+        assert!(
+            err < 0.2,
+            "but small drift must not destroy the unitary: {err}"
+        );
     }
 
     #[test]

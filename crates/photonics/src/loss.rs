@@ -72,8 +72,7 @@ pub fn flumen_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> f64 {
 /// traverses the full SVD circuit depth — `n` mesh columns per unitary
 /// section plus the attenuator column.
 pub fn compute_path_loss_db(n: usize, dev: &DeviceParams) -> f64 {
-    (2.0 * n as f64 + 1.0) * dev.mzi_loss_db()
-        + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
+    (2.0 * n as f64 + 1.0) * dev.mzi_loss_db() + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
 }
 
 #[cfg(test)]
@@ -110,10 +109,19 @@ mod tests {
         let d = DeviceParams::paper();
         let ob = optbus_laser_power_mw(16, 32, &d);
         let fl = flumen_laser_power_mw(16, 32, &d);
-        assert!((ob - 32.3).abs() / 32.3 < 0.10, "OptBus {ob:.2} mW, expected ≈32.3");
-        assert!((fl - 0.4296).abs() / 0.4296 < 0.15, "Flumen {fl:.4} mW, expected ≈0.43");
+        assert!(
+            (ob - 32.3).abs() / 32.3 < 0.10,
+            "OptBus {ob:.2} mW, expected ≈32.3"
+        );
+        assert!(
+            (fl - 0.4296).abs() / 0.4296 < 0.15,
+            "Flumen {fl:.4} mW, expected ≈0.43"
+        );
         let ratio = ob / fl;
-        assert!(ratio > 50.0 && ratio < 110.0, "reduction {ratio:.1}×, paper says 75×");
+        assert!(
+            ratio > 50.0 && ratio < 110.0,
+            "reduction {ratio:.1}×, paper says 75×"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::mzi::MziPhase;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{C64, CMat};
+use flumen_linalg::{CMat, C64};
 
 /// One physical MZI slot in the mesh: the column it sits in and the upper
 /// of the two waveguides it couples.
@@ -71,12 +71,21 @@ impl MzimMesh {
             let start = slots.len();
             let mut mode = col % 2;
             while mode + 1 < n {
-                slots.push(MziSlot { col, mode, phase: MziPhase::bar() });
+                slots.push(MziSlot {
+                    col,
+                    mode,
+                    phase: MziPhase::bar(),
+                });
                 mode += 2;
             }
             col_ranges.push((start, slots.len()));
         }
-        MzimMesh { n, slots, col_ranges, output_phases: vec![0.0; n] }
+        MzimMesh {
+            n,
+            slots,
+            col_ranges,
+            output_phases: vec![0.0; n],
+        }
     }
 
     /// Number of waveguides (inputs/outputs).
@@ -220,7 +229,11 @@ impl MzimMesh {
                     if slot.phase.is_bar() {
                         mzis += 1;
                     } else if slot.phase.is_cross() {
-                        wire = if slot.mode == wire { slot.mode + 1 } else { slot.mode };
+                        wire = if slot.mode == wire {
+                            slot.mode + 1
+                        } else {
+                            slot.mode
+                        };
                         mzis += 1;
                     } else {
                         return None; // splitting state: no single path
@@ -230,7 +243,10 @@ impl MzimMesh {
             }
         }
         if wire == dst {
-            Some(RouteTrace { mzis_traversed: mzis, columns: self.column_count() })
+            Some(RouteTrace {
+                mzis_traversed: mzis,
+                columns: self.column_count(),
+            })
         } else {
             None
         }
@@ -291,7 +307,8 @@ mod tests {
         m.set_phase(0, 0, MziPhase::new(1.0, 2.0)).unwrap();
         m.set_phase(1, 3, MziPhase::splitter(0.3)).unwrap();
         m.set_phase(5, 1, MziPhase::cross()).unwrap();
-        m.set_output_phases(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap();
+        m.set_output_phases(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+            .unwrap();
         assert!(m.transfer_matrix().is_unitary(1e-10));
     }
 

@@ -52,12 +52,18 @@ impl MziPhase {
 
     /// The cross state (`θ = 0`): inputs swap outputs.
     pub const fn cross() -> Self {
-        MziPhase { theta: 0.0, phi: 0.0 }
+        MziPhase {
+            theta: 0.0,
+            phi: 0.0,
+        }
     }
 
     /// The bar state (`θ = π`): inputs pass straight through.
     pub const fn bar() -> Self {
-        MziPhase { theta: PI, phi: 0.0 }
+        MziPhase {
+            theta: PI,
+            phi: 0.0,
+        }
     }
 
     /// A splitting state sending fraction `frac_straight` of the *power*
@@ -95,10 +101,7 @@ impl MziPhase {
         let (s, c) = (half.sin(), half.cos());
         let g = C64::I * C64::cis(-half); // j·e^{-jθ/2}
         let e_phi = C64::cis(self.phi);
-        [
-            [g * e_phi * s, g * c],
-            [g * e_phi * c, g * -s],
-        ]
+        [[g * e_phi * s, g * c], [g * e_phi * c, g * -s]]
     }
 
     /// Fraction of input power that stays on the same waveguide
@@ -141,7 +144,9 @@ impl Attenuator {
         if !(0.0..=1.0 + 1e-9).contains(&sigma) {
             return Err(crate::PhotonicsError::SingularValueTooLarge { sigma });
         }
-        Ok(Attenuator { amplitude: sigma.min(1.0) })
+        Ok(Attenuator {
+            amplitude: sigma.min(1.0),
+        })
     }
 
     /// The field transmission amplitude `σ`.

@@ -13,7 +13,7 @@ use crate::clements::MeshProgram;
 use crate::mesh::MzimMesh;
 use crate::mzi::MziPhase;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{C64, CMat};
+use flumen_linalg::{CMat, C64};
 
 /// Magnitudes below this are treated as zero during nulling.
 const TINY: f64 = 1e-12;
@@ -30,7 +30,10 @@ const TINY: f64 = 1e-12;
 pub fn decompose(u: &CMat) -> Result<MeshProgram> {
     let n = u.rows();
     if !u.is_square() || n < 2 {
-        return Err(PhotonicsError::InvalidSize { n, requirement: "unitary must be square, ≥ 2×2" });
+        return Err(PhotonicsError::InvalidSize {
+            n,
+            requirement: "unitary must be square, ≥ 2×2",
+        });
     }
     let dev = crate::clements::deviation_from_unitary(u);
     if dev > 1e-8 {
@@ -58,7 +61,11 @@ pub fn decompose(u: &CMat) -> Result<MeshProgram> {
         }
     }
     let output_phases: Vec<f64> = (0..n).map(|k| w[(k, k)].arg()).collect();
-    Ok(MeshProgram { n, ops: right_ops, output_phases })
+    Ok(MeshProgram {
+        n,
+        ops: right_ops,
+        output_phases,
+    })
 }
 
 /// Programs a triangular mesh (depth ≥ `2n − 3`) with the Reck
@@ -72,8 +79,7 @@ pub fn program_reck_mesh(mesh: &mut MzimMesh, u: &CMat) -> Result<()> {
     let prog = decompose(u)?;
     mesh.reset();
     let depth = mesh.column_count();
-    let phases =
-        crate::clements::apply_program_in_range(mesh, &prog, 0, 0, depth)?;
+    let phases = crate::clements::apply_program_in_range(mesh, &prog, 0, 0, depth)?;
     mesh.set_output_phases(&phases)
 }
 

@@ -123,7 +123,9 @@ pub fn route_multicast_in_range(
 ) -> Result<()> {
     validate_range(mesh, base, width, col0, cols)?;
     if dests.is_empty() {
-        return Err(PhotonicsError::NotRoutable { reason: "empty destination set".into() });
+        return Err(PhotonicsError::NotRoutable {
+            reason: "empty destination set".into(),
+        });
     }
     let in_range = |w: usize| w >= base && w < base + width;
     if !in_range(src) || dests.iter().any(|&d| !in_range(d)) {
@@ -173,8 +175,24 @@ pub fn route_multicast_in_range(
             let b = targets[hi];
             let phase = match (a != 0, b != 0) {
                 (false, false) => MziPhase::bar(),
-                (true, false) => split_one_input(a, reach[c + 1][lo], reach[c + 1][hi], true, &mut targets, lo, hi)?,
-                (false, true) => split_one_input(b, reach[c + 1][lo], reach[c + 1][hi], false, &mut targets, lo, hi)?,
+                (true, false) => split_one_input(
+                    a,
+                    reach[c + 1][lo],
+                    reach[c + 1][hi],
+                    true,
+                    &mut targets,
+                    lo,
+                    hi,
+                )?,
+                (false, true) => split_one_input(
+                    b,
+                    reach[c + 1][lo],
+                    reach[c + 1][hi],
+                    false,
+                    &mut targets,
+                    lo,
+                    hi,
+                )?,
                 (true, true) => {
                     // Two copies meet: route them through without mixing.
                     let bar_ok = a & !reach[c + 1][lo] == 0 && b & !reach[c + 1][hi] == 0;
@@ -304,7 +322,10 @@ mod tests {
     fn power_out(mesh: &MzimMesh, src: usize) -> Vec<f64> {
         let mut input = vec![C64::ZERO; mesh.n()];
         input[src] = C64::ONE;
-        mesh.propagate(&input).iter().map(|f| f.norm_sqr()).collect()
+        mesh.propagate(&input)
+            .iter()
+            .map(|f| f.norm_sqr())
+            .collect()
     }
 
     #[test]

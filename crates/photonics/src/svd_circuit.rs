@@ -15,7 +15,7 @@ use crate::clements::program_mesh;
 use crate::mesh::MzimMesh;
 use crate::mzi::Attenuator;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{spectral_scale, svd, C64, RMat};
+use flumen_linalg::{spectral_scale, svd, RMat, C64};
 
 /// A programmed `N`-input SVD MZIM circuit.
 ///
@@ -94,7 +94,13 @@ impl SvdCircuit {
             .iter()
             .map(|&s| Attenuator::with_amplitude(s.min(1.0)))
             .collect::<Result<Vec<_>>>()?;
-        Ok(SvdCircuit { n, v_mesh, attens, u_mesh, scale: 1.0 })
+        Ok(SvdCircuit {
+            n,
+            v_mesh,
+            attens,
+            u_mesh,
+            scale: 1.0,
+        })
     }
 
     /// Quantizes every programmed phase to the model's phase-DAC
@@ -172,12 +178,7 @@ impl SvdCircuit {
     /// # Panics
     ///
     /// Panics if any column's length differs from `n`.
-    pub fn apply_wdm(
-        &self,
-        a_cols: &[Vec<f64>],
-        model: &AnalogModel,
-        seed: u64,
-    ) -> Vec<Vec<f64>> {
+    pub fn apply_wdm(&self, a_cols: &[Vec<f64>], model: &AnalogModel, seed: u64) -> Vec<Vec<f64>> {
         a_cols
             .iter()
             .enumerate()
@@ -190,10 +191,8 @@ fn quantize_mesh_phases(mesh: &mut MzimMesh, model: &AnalogModel) {
     if model.phase_bits == 0 {
         return;
     }
-    let slots: Vec<(usize, usize, crate::MziPhase)> = mesh
-        .iter()
-        .map(|s| (s.col, s.mode, s.phase))
-        .collect();
+    let slots: Vec<(usize, usize, crate::MziPhase)> =
+        mesh.iter().map(|s| (s.col, s.mode, s.phase)).collect();
     for (col, mode, phase) in slots {
         let q = crate::MziPhase::new(
             model.quantize_phase(phase.theta),

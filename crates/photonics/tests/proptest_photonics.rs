@@ -1,6 +1,6 @@
 //! Property-based tests for the photonic circuit stack.
 
-use flumen_linalg::{random_unitary, C64, RMat};
+use flumen_linalg::{random_unitary, RMat, C64};
 use flumen_photonics::clements::program_mesh;
 use flumen_photonics::{routing, AnalogModel, FlumenFabric, MzimMesh, PartitionConfig, SvdCircuit};
 use proptest::prelude::*;

@@ -87,11 +87,27 @@ mod tests {
     #[test]
     fn flumen_fitted_points() {
         // 16×16×8: paper 82 pJ.
-        assert!(rel_err(flumen_matmul_pj(16, 8), 82.0) < 0.05, "{}", flumen_matmul_pj(16, 8));
+        assert!(
+            rel_err(flumen_matmul_pj(16, 8), 82.0) < 0.05,
+            "{}",
+            flumen_matmul_pj(16, 8)
+        );
         // 64×64: paper 0.62 / 1.32 / 2.24 nJ for 1 / 4 / 8 MVMs.
-        assert!(rel_err(flumen_matmul_pj(64, 1), 620.0) < 0.05, "{}", flumen_matmul_pj(64, 1));
-        assert!(rel_err(flumen_matmul_pj(64, 4), 1320.0) < 0.05, "{}", flumen_matmul_pj(64, 4));
-        assert!(rel_err(flumen_matmul_pj(64, 8), 2240.0) < 0.05, "{}", flumen_matmul_pj(64, 8));
+        assert!(
+            rel_err(flumen_matmul_pj(64, 1), 620.0) < 0.05,
+            "{}",
+            flumen_matmul_pj(64, 1)
+        );
+        assert!(
+            rel_err(flumen_matmul_pj(64, 4), 1320.0) < 0.05,
+            "{}",
+            flumen_matmul_pj(64, 4)
+        );
+        assert!(
+            rel_err(flumen_matmul_pj(64, 8), 2240.0) < 0.05,
+            "{}",
+            flumen_matmul_pj(64, 8)
+        );
     }
 
     #[test]

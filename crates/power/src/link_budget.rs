@@ -87,7 +87,12 @@ mod tests {
         let d = DeviceParams::paper();
         let fl = flumen_endpoint_budget(16, 32, &d);
         let ob = optbus_endpoint_budget(16, 32, &d);
-        assert!(ob.laser_mw > 10.0 * fl.laser_mw, "{} vs {}", ob.laser_mw, fl.laser_mw);
+        assert!(
+            ob.laser_mw > 10.0 * fl.laser_mw,
+            "{} vs {}",
+            ob.laser_mw,
+            fl.laser_mw
+        );
         // Everything else is identical hardware.
         assert_eq!(ob.tuning_mw, fl.tuning_mw);
         assert_eq!(ob.serdes_mw, fl.serdes_mw);

@@ -188,12 +188,10 @@ pub fn network_energy_j(net: &NetStats, seconds: f64, nop: NopKind, params: &Ene
                 + params.elec_router_static_w * 16.0 * seconds
         }
         NopKind::OptBus => {
-            net.bit_hops as f64 * params.photonic_bit_pj * pj
-                + params.optbus_static_w * seconds
+            net.bit_hops as f64 * params.photonic_bit_pj * pj + params.optbus_static_w * seconds
         }
         NopKind::MzimCommOnly => {
-            net.bit_hops as f64 * params.photonic_bit_pj * pj
-                + params.mzim_comm_static_w * seconds
+            net.bit_hops as f64 * params.photonic_bit_pj * pj + params.mzim_comm_static_w * seconds
         }
         NopKind::FlumenComm | NopKind::FlumenAccel => {
             net.bit_hops as f64 * params.photonic_bit_pj * pj
@@ -211,7 +209,9 @@ pub fn mzim_compute_energy_j(counts: &ActivityCounts) -> f64 {
         return 0.0;
     }
     // Average partition size from samples per MVM.
-    let n = (counts.mzim_input_samples as f64 / counts.mzim_mvms as f64).round().max(2.0);
+    let n = (counts.mzim_input_samples as f64 / counts.mzim_mvms as f64)
+        .round()
+        .max(2.0);
     let per_sample_pj = compute::E_CONV_PJ;
     let sample_j =
         (counts.mzim_input_samples + counts.mzim_output_samples) as f64 * per_sample_pj * 1e-12;
@@ -308,7 +308,10 @@ mod tests {
 
     #[test]
     fn edp_multiplies_energy_by_time() {
-        let b = EnergyBreakdown { core_j: 2.0, ..Default::default() };
+        let b = EnergyBreakdown {
+            core_j: 2.0,
+            ..Default::default()
+        };
         assert!((b.edp(0.5) - 1.0).abs() < 1e-12);
     }
 

@@ -1,0 +1,283 @@
+//! JSON bridges for the workspace's configuration and result types.
+//!
+//! These impls define the *canonical serialized form* of every parameter
+//! that feeds a job's content hash, so any field change — however small —
+//! produces a different hash and therefore a cache miss. Field names match
+//! the Rust struct fields one-to-one; enums serialize as their established
+//! display names (`SystemTopology::name()`, `TrafficPattern::name()`).
+//!
+//! `serde` itself cannot be used here: the build environment is offline
+//! (see `vendor/`), so the sweep crate carries its own minimal traits in
+//! [`crate::json`].
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use flumen::scheduler::SchedulerParams;
+use flumen::{ControlUnitParams, FullRunResult, RuntimeConfig, SystemTopology};
+use flumen_noc::harness::{LatencyPoint, RunConfig};
+use flumen_noc::traffic::TrafficPattern;
+use flumen_noc::NetStats;
+use flumen_power::{EnergyBreakdown, EnergyParams};
+use flumen_system::{ActivityCounts, CacheConfig, SystemConfig};
+use flumen_workloads::taskgen::TaskGenConfig;
+
+/// Implements `ToJson`/`FromJson` for a plain struct, field by field.
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::obj([$((stringify!($field), self.$field.to_json()),)+])
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(j: &Json) -> Result<Self, JsonError> {
+                Ok($ty {
+                    $($field: j.get(stringify!($field)).and_then(FromJson::from_json).map_err(|e| {
+                        JsonError(format!(
+                            concat!(stringify!($ty), ".", stringify!($field), ": {}"),
+                            e
+                        ))
+                    })?,)+
+                })
+            }
+        }
+    };
+}
+
+impl ToJson for SystemTopology {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for SystemTopology {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let name = j.as_str()?;
+        SystemTopology::all()
+            .into_iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| JsonError(format!("unknown topology {name:?}")))
+    }
+}
+
+impl ToJson for TrafficPattern {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for TrafficPattern {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let name = j.as_str()?;
+        TrafficPattern::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| JsonError(format!("unknown traffic pattern {name:?}")))
+    }
+}
+
+json_struct!(CacheConfig {
+    size_bytes,
+    line_bytes,
+    ways,
+    latency
+});
+
+json_struct!(SystemConfig {
+    cores,
+    chiplets,
+    freq_ghz,
+    ipc,
+    l1i,
+    l1d,
+    l2,
+    l3_slice,
+    dram_latency,
+    mlp,
+    req_bits,
+    reply_bits,
+});
+
+json_struct!(TaskGenConfig {
+    ops_per_mac,
+    unit_macs,
+    max_configs_per_request,
+    max_vectors_per_request,
+    svd_partition,
+    unitary_partition,
+});
+
+json_struct!(SchedulerParams {
+    tau,
+    eta,
+    zeta,
+    buffer_capacity,
+    reject_beta,
+    max_wait
+});
+
+json_struct!(ControlUnitParams {
+    scheduler,
+    fabric_n,
+    chiplets_per_wire,
+    switch_cycles,
+    config_pipeline,
+    stream_cycles_per_batch,
+    compute_lambdas,
+    arbitration_cycles,
+    max_partitions,
+});
+
+json_struct!(EnergyParams {
+    core_op_pj,
+    core_busy_pj,
+    l1_pj,
+    l2_pj,
+    l3_pj,
+    dram_pj,
+    mesh_bit_pj,
+    ring_bit_pj,
+    photonic_bit_pj,
+    elec_router_static_w,
+    optbus_static_w,
+    mzim_comm_static_w,
+    flumen_dacadc_static_w,
+    core_leak_w_per_core,
+    l3_leak_w,
+    dram_background_w,
+});
+
+json_struct!(RuntimeConfig {
+    system,
+    taskgen,
+    control,
+    energy,
+    max_cycles,
+    trace_interval
+});
+
+json_struct!(RunConfig {
+    warmup,
+    measure,
+    packet_bits,
+    link_bits_per_cycle,
+    seed
+});
+
+json_struct!(ActivityCounts {
+    core_ops,
+    core_busy_cycles,
+    l1i_accesses,
+    l1d_accesses,
+    l1d_misses,
+    l2_accesses,
+    l2_misses,
+    l3_accesses,
+    l3_misses,
+    dram_accesses,
+    nop_packets,
+    offload_requests,
+    mzim_mvms,
+    mzim_input_samples,
+    mzim_output_samples,
+    mzim_active_cycles,
+    mzim_reconfigs,
+});
+
+json_struct!(NetStats {
+    injected,
+    delivered,
+    latency_sum,
+    latency_max,
+    latency_hist,
+    bits_injected,
+    bit_hops,
+    link_busy,
+    reconfigurations,
+    cycles,
+});
+
+json_struct!(EnergyBreakdown {
+    core_j,
+    l1i_j,
+    l1d_j,
+    l2_j,
+    l3_j,
+    dram_j,
+    nop_j,
+    mzim_j
+});
+
+json_struct!(FullRunResult {
+    topology,
+    benchmark,
+    cycles,
+    seconds,
+    counts,
+    net_stats,
+    energy,
+    utilization_trace,
+});
+
+json_struct!(LatencyPoint {
+    offered_load,
+    avg_latency,
+    throughput,
+    link_utilization,
+    saturated
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_config_round_trips() {
+        let cfg = RuntimeConfig::paper();
+        let j = cfg.to_json();
+        let back = RuntimeConfig::from_json(&j).unwrap();
+        assert_eq!(back.system.cores, cfg.system.cores);
+        assert_eq!(back.control.fabric_n, cfg.control.fabric_n);
+        assert_eq!(back.control.scheduler.eta, cfg.control.scheduler.eta);
+        assert_eq!(back.energy, cfg.energy);
+        assert_eq!(back.max_cycles, cfg.max_cycles);
+        // And the canonical text itself is a fixed point.
+        let text = j.to_canonical();
+        assert_eq!(back.to_json().to_canonical(), text);
+    }
+
+    #[test]
+    fn topology_and_pattern_names_round_trip() {
+        for t in SystemTopology::all() {
+            assert_eq!(SystemTopology::from_json(&t.to_json()).unwrap(), t);
+        }
+        for p in TrafficPattern::all() {
+            assert_eq!(TrafficPattern::from_json(&p.to_json()).unwrap(), p);
+        }
+        assert!(SystemTopology::from_json(&Json::Str("torus".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_error_names_the_path() {
+        let mut j = SchedulerParams::default().to_json();
+        if let Json::Obj(map) = &mut j {
+            map.remove("zeta");
+        }
+        let err = SchedulerParams::from_json(&j).unwrap_err();
+        assert!(err.0.contains("SchedulerParams.zeta"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn latency_point_preserves_saturation_infinity() {
+        let pt = LatencyPoint {
+            offered_load: 0.45,
+            avg_latency: f64::INFINITY,
+            throughput: 0.31,
+            link_utilization: 0.97,
+            saturated: true,
+        };
+        let text = pt.to_json().to_canonical();
+        let back = LatencyPoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.avg_latency.is_infinite());
+        assert!(back.saturated);
+    }
+}

@@ -1,0 +1,143 @@
+//! Result sinks: JSONL dumps, CSV tables and the run manifest.
+//!
+//! The manifest (`manifest.jsonl` next to the cache) appends one line per
+//! sweep invocation — job count, hit/miss split, wall time — so a data
+//! directory records how its contents were produced and a re-run can be
+//! audited for cache effectiveness.
+
+use crate::exec::SweepReport;
+use crate::json::{Json, ToJson};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes one JSON object per line: `{label, hash, cached, wall_ms,
+/// result}` for every job in the report, in plan order.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_results_jsonl(path: &Path, report: &SweepReport) {
+    let mut out = String::new();
+    for (rec, result) in report.records.iter().zip(&report.results) {
+        let line = Json::obj([
+            ("label", Json::Str(rec.label.clone())),
+            ("hash", Json::Str(rec.hash.clone())),
+            ("cached", rec.cached.to_json()),
+            ("wall_ms", rec.wall_ms.to_json()),
+            ("result", result.to_json()),
+        ]);
+        out.push_str(&line.to_canonical());
+        out.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create sink dir");
+    }
+    fs::write(path, out).expect("write results jsonl");
+}
+
+/// Writes a CSV file (headers + rows).
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_csv_file(path: &Path, headers: &[&str], rows: &[Vec<String>]) {
+    let mut s = headers.join(",") + "\n";
+    for r in rows {
+        s.push_str(&r.join(","));
+        s.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create sink dir");
+    }
+    fs::write(path, s).expect("write csv");
+}
+
+/// Appends one summary line for this sweep to `<dir>/manifest.jsonl`.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn append_manifest(dir: &Path, name: &str, report: &SweepReport) {
+    fs::create_dir_all(dir).expect("create manifest dir");
+    let line = Json::obj([
+        ("sweep", Json::Str(name.to_string())),
+        ("jobs", report.records.len().to_json()),
+        ("cache_hits", report.cache_hits().to_json()),
+        ("executed", report.executed().to_json()),
+        ("wall_ms", report.wall_ms.to_json()),
+        (
+            "job_hashes",
+            Json::Arr(
+                report
+                    .records
+                    .iter()
+                    .map(|r| Json::Str(r.hash.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("manifest.jsonl"))
+        .expect("open manifest");
+    writeln!(f, "{}", line.to_canonical()).expect("append manifest");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_plan, SweepOptions, SweepPlan};
+    use crate::job::{JobSpec, NetSpec};
+    use flumen_noc::harness::RunConfig;
+    use flumen_noc::traffic::TrafficPattern;
+
+    #[test]
+    fn sinks_write_plan_ordered_lines() {
+        let base = std::env::temp_dir().join(format!("flumen-sweep-sink-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+
+        let mut plan = SweepPlan::new();
+        for seed in [1u64, 2] {
+            plan.push(JobSpec::NocPoint {
+                net: NetSpec::Ring { nodes: 8 },
+                pattern: TrafficPattern::Shuffle,
+                load: 0.05,
+                cfg: RunConfig {
+                    warmup: 50,
+                    measure: 200,
+                    seed,
+                    ..RunConfig::default()
+                },
+            });
+        }
+        let report = run_plan(&plan, &SweepOptions::serial_in(base.join("cache")));
+
+        let jsonl = base.join("out.jsonl");
+        write_results_jsonl(&jsonl, &report);
+        let text = fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for (line, rec) in text.lines().zip(&report.records) {
+            let j = Json::parse(line).unwrap();
+            assert_eq!(j.get("hash").unwrap().as_str().unwrap(), rec.hash);
+        }
+
+        append_manifest(&base, "test-sweep", &report);
+        let manifest = fs::read_to_string(base.join("manifest.jsonl")).unwrap();
+        let j = Json::parse(manifest.lines().next().unwrap()).unwrap();
+        assert_eq!(j.get("jobs").unwrap().as_usize().unwrap(), 2);
+
+        write_csv_file(
+            &base.join("t.csv"),
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert_eq!(
+            fs::read_to_string(base.join("t.csv")).unwrap(),
+            "a,b\n1,2\n"
+        );
+
+        fs::remove_dir_all(&base).unwrap();
+    }
+}

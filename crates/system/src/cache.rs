@@ -50,7 +50,10 @@ impl Cache {
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             sets: vec![Vec::with_capacity(cfg.ways); sets],
             ways: cfg.ways,
@@ -73,7 +76,10 @@ impl Cache {
             let mut line = set.remove(pos);
             line.dirty |= write;
             set.push(line);
-            return AccessResult { hit: true, dirty_evict: None };
+            return AccessResult {
+                hit: true,
+                dirty_evict: None,
+            };
         }
 
         self.misses += 1;
@@ -87,7 +93,10 @@ impl Cache {
             }
         }
         set.push(Line { tag, dirty: write });
-        AccessResult { hit: false, dirty_evict }
+        AccessResult {
+            hit: false,
+            dirty_evict,
+        }
     }
 
     /// Hit rate so far (1.0 when no accesses yet).
@@ -114,7 +123,12 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(&CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2, latency: 1 })
+        Cache::new(&CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            latency: 1,
+        })
         // 4 sets × 2 ways.
     }
 

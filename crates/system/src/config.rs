@@ -58,10 +58,30 @@ impl SystemConfig {
             chiplets: 16,
             freq_ghz: 2.5,
             ipc: 2.0,
-            l1i: CacheConfig { size_bytes: 32 << 10, line_bytes: line, ways: 4, latency: 1 },
-            l1d: CacheConfig { size_bytes: 32 << 10, line_bytes: line, ways: 8, latency: 1 },
-            l2: CacheConfig { size_bytes: 512 << 10, line_bytes: line, ways: 8, latency: 4 },
-            l3_slice: CacheConfig { size_bytes: 1 << 20, line_bytes: line, ways: 16, latency: 20 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: line,
+                ways: 4,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: line,
+                ways: 8,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 << 10,
+                line_bytes: line,
+                ways: 8,
+                latency: 4,
+            },
+            l3_slice: CacheConfig {
+                size_bytes: 1 << 20,
+                line_bytes: line,
+                ways: 16,
+                latency: 20,
+            },
             dram_latency: 120,
             mlp: 4,
             req_bits: 128,
@@ -133,7 +153,12 @@ mod tests {
 
     #[test]
     fn cache_sets() {
-        let c = CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 4, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 4,
+            latency: 1,
+        };
         assert_eq!(c.sets(), 128);
     }
 

@@ -70,8 +70,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = ActivityCounts { core_ops: 5, dram_accesses: 2, ..Default::default() };
-        let b = ActivityCounts { core_ops: 7, l2_misses: 3, ..Default::default() };
+        let mut a = ActivityCounts {
+            core_ops: 5,
+            dram_accesses: 2,
+            ..Default::default()
+        };
+        let b = ActivityCounts {
+            core_ops: 7,
+            l2_misses: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.core_ops, 12);
         assert_eq!(a.dram_accesses, 2);

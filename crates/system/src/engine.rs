@@ -38,7 +38,14 @@ pub struct ExternalOutcome {
 /// unit in Flumen-A runs behind this trait).
 pub trait ExternalServer<N: Network> {
     /// A core submitted a request (arbitration-waveguide message).
-    fn on_request(&mut self, now: u64, core: usize, chiplet: usize, tag: u64, payload: ExternalPayload);
+    fn on_request(
+        &mut self,
+        now: u64,
+        core: usize,
+        chiplet: usize,
+        tag: u64,
+        payload: ExternalPayload,
+    );
     /// Advances one cycle; may reserve/release network wires and returns
     /// any completed requests.
     fn step(&mut self, now: u64, net: &mut N) -> Vec<ExternalOutcome>;
@@ -56,11 +63,24 @@ pub struct NullServer {
 }
 
 impl<N: Network> ExternalServer<N> for NullServer {
-    fn on_request(&mut self, _now: u64, _core: usize, _chiplet: usize, tag: u64, _p: ExternalPayload) {
+    fn on_request(
+        &mut self,
+        _now: u64,
+        _core: usize,
+        _chiplet: usize,
+        tag: u64,
+        _p: ExternalPayload,
+    ) {
         self.queue.push(tag);
     }
     fn step(&mut self, _now: u64, _net: &mut N) -> Vec<ExternalOutcome> {
-        self.queue.drain(..).map(|tag| ExternalOutcome { tag, accepted: false }).collect()
+        self.queue
+            .drain(..)
+            .map(|tag| ExternalOutcome {
+                tag,
+                accepted: false,
+            })
+            .collect()
     }
     fn outstanding(&self) -> usize {
         self.queue.len()
@@ -88,7 +108,10 @@ struct CoreState {
 
 impl CoreState {
     fn idle_done(&self) -> bool {
-        self.queue.is_empty() && self.stream.is_none() && self.waiting == 0 && self.barrier.is_none()
+        self.queue.is_empty()
+            && self.stream.is_none()
+            && self.waiting == 0
+            && self.barrier.is_none()
     }
 }
 
@@ -152,7 +175,11 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
     /// differs from `cfg.chiplets`.
     pub fn new(cfg: SystemConfig, net: N, server: S, tasks: Vec<Vec<CoreTask>>) -> Self {
         assert_eq!(tasks.len(), cfg.cores, "one task queue per core");
-        assert_eq!(net.num_nodes(), cfg.chiplets, "network endpoints must equal chiplets");
+        assert_eq!(
+            net.num_nodes(),
+            cfg.chiplets,
+            "network endpoints must equal chiplets"
+        );
         let cores = tasks
             .into_iter()
             .map(|q| CoreState {
@@ -165,7 +192,9 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             .collect();
         let l1d = (0..cfg.cores).map(|_| Cache::new(&cfg.l1d)).collect();
         let l2 = (0..cfg.cores).map(|_| Cache::new(&cfg.l2)).collect();
-        let l3 = (0..cfg.chiplets).map(|_| Cache::new(&cfg.l3_slice)).collect();
+        let l3 = (0..cfg.chiplets)
+            .map(|_| Cache::new(&cfg.l3_slice))
+            .collect();
         SystemSim {
             cfg,
             cores,
@@ -291,7 +320,9 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
     }
 
     fn step_core(&mut self, c: usize, now: u64) {
-        if self.cores[c].waiting > 0 || self.cores[c].barrier.is_some() || self.cores[c].busy_until > now
+        if self.cores[c].waiting > 0
+            || self.cores[c].barrier.is_some()
+            || self.cores[c].busy_until > now
         {
             return;
         }
@@ -299,7 +330,9 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             self.continue_stream(c, now);
             return;
         }
-        let Some(task) = self.cores[c].queue.pop_front() else { return };
+        let Some(task) = self.cores[c].queue.pop_front() else {
+            return;
+        };
         match task {
             CoreTask::Compute { ops } => {
                 let dur = (ops as f64 / self.cfg.ipc).ceil() as u64;
@@ -309,10 +342,21 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                 self.counts.core_busy_cycles += dur;
             }
             CoreTask::Stream { ops, reads, writes } => {
-                self.cores[c].stream = Some(StreamState { ops, reads, writes, ri: 0, wi: 0 });
+                self.cores[c].stream = Some(StreamState {
+                    ops,
+                    reads,
+                    writes,
+                    ri: 0,
+                    wi: 0,
+                });
                 self.continue_stream(c, now);
             }
-            CoreTask::NetRequest { dst_chiplet, req_bits, reply_bits, server_cycles } => {
+            CoreTask::NetRequest {
+                dst_chiplet,
+                req_bits,
+                reply_bits,
+                server_cycles,
+            } => {
                 let tag = self.fresh_tag();
                 let chiplet = self.cfg.chiplet_of(c);
                 let mut pkt = Packet::new(tag, chiplet, dst_chiplet, req_bits, now);
@@ -320,7 +364,10 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                 self.pending_requests.insert(
                     tag,
                     ReqInfo {
-                        kind: ReqKind::Custom { server_cycles, reply_bits },
+                        kind: ReqKind::Custom {
+                            server_cycles,
+                            reply_bits,
+                        },
                         requester_core: c,
                         src_chiplet: chiplet,
                     },
@@ -516,7 +563,10 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                     self.pending_replies.insert(pkt.tag, info.requester_core);
                     self.server_jobs.push((now + service, reply));
                 }
-                ReqKind::Custom { server_cycles, reply_bits } => {
+                ReqKind::Custom {
+                    server_cycles,
+                    reply_bits,
+                } => {
                     let mut reply =
                         Packet::new(pkt.tag, pkt.dst, info.src_chiplet, reply_bits, now);
                     reply.tag = pkt.tag;
@@ -552,7 +602,11 @@ mod tests {
     use flumen_noc::MzimCrossbar;
 
     fn tiny_cfg() -> SystemConfig {
-        SystemConfig { cores: 4, chiplets: 4, ..SystemConfig::paper() }
+        SystemConfig {
+            cores: 4,
+            chiplets: 4,
+            ..SystemConfig::paper()
+        }
     }
 
     fn net4() -> MzimCrossbar {
@@ -588,8 +642,16 @@ mod tests {
         // Lines homed on chiplet 0 (core 0's own chiplet): addr % (4*64) == 0.
         let addrs: Vec<u64> = (0..16u64).map(|i| i * 4 * 64).collect();
         let mut tasks = empty_tasks(4);
-        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs.clone(), writes: vec![] });
-        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: addrs.clone(),
+            writes: vec![],
+        });
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: addrs,
+            writes: vec![],
+        });
         let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
         let r = sim.run(100_000);
         assert_eq!(r.counts.l1d_accesses, 32);
@@ -603,7 +665,11 @@ mod tests {
         // Lines homed on chiplet 1, accessed by core 0 (chiplet 0).
         let addrs: Vec<u64> = (0..8u64).map(|i| 64 + i * 4 * 64).collect();
         let mut tasks = empty_tasks(4);
-        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: addrs,
+            writes: vec![],
+        });
         let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
         let r = sim.run(100_000);
         assert_eq!(r.counts.l2_misses, 8);
@@ -662,7 +728,10 @@ mod tests {
     #[test]
     fn netsend_multicast_counts_once() {
         let mut tasks = empty_tasks(4);
-        tasks[0].push(CoreTask::NetSend { dst_chiplets: vec![1, 2, 3], bits: 1024 });
+        tasks[0].push(CoreTask::NetSend {
+            dst_chiplets: vec![1, 2, 3],
+            bits: 1024,
+        });
         let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
         let r = sim.run(100_000);
         assert_eq!(r.counts.nop_packets, 1);
@@ -676,7 +745,11 @@ mod tests {
         // dirty evictions toward a remote home.
         let addrs: Vec<u64> = (0..40_000u64).map(|i| 64 + i * 4 * 64).collect();
         let mut tasks = empty_tasks(4);
-        tasks[0].push(CoreTask::Stream { ops: 0, reads: vec![], writes: addrs });
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: vec![],
+            writes: addrs,
+        });
         let sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
         let r = sim.run(10_000_000);
         assert!(r.counts.dram_accesses > 0);
@@ -689,12 +762,19 @@ mod tests {
         let cfg = tiny_cfg();
         let addrs: Vec<u64> = (0..64u64).map(|i| 64 + i * 4 * 64).collect();
         let mut tasks = empty_tasks(4);
-        tasks[0].push(CoreTask::Stream { ops: 0, reads: addrs, writes: vec![] });
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: addrs,
+            writes: vec![],
+        });
         let mut sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
         sim.set_trace_interval(50);
         let r = sim.run(1_000_000);
         assert!(!r.utilization_trace.is_empty());
         assert!(r.utilization_trace.iter().any(|&u| u > 0.0));
-        assert!(r.utilization_trace.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(r
+            .utilization_trace
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
     }
 }

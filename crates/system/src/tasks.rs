@@ -65,7 +65,11 @@ pub enum CoreTask {
 impl CoreTask {
     /// Convenience constructor for a line-granular read-only stream.
     pub fn stream_reads(ops: u64, reads: Vec<u64>) -> Self {
-        CoreTask::Stream { ops, reads, writes: Vec::new() }
+        CoreTask::Stream {
+            ops,
+            reads,
+            writes: Vec::new(),
+        }
     }
 }
 

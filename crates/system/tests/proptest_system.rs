@@ -8,7 +8,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn small_sys() -> SystemConfig {
-    SystemConfig { cores: 8, chiplets: 4, ..SystemConfig::paper() }
+    SystemConfig {
+        cores: 8,
+        chiplets: 4,
+        ..SystemConfig::paper()
+    }
 }
 
 fn net4() -> MzimCrossbar {
@@ -30,9 +34,14 @@ fn random_tasks(seed: u64, cores: usize) -> (Vec<Vec<CoreTask>>, u64) {
                 1 => {
                     let ops = rng.gen_range(0..500u64);
                     total_ops += ops;
-                    let reads: Vec<u64> =
-                        (0..rng.gen_range(1..40u64)).map(|_| rng.gen_range(0..1u64 << 20) & !63).collect();
-                    q.push(CoreTask::Stream { ops, reads, writes: vec![] });
+                    let reads: Vec<u64> = (0..rng.gen_range(1..40u64))
+                        .map(|_| rng.gen_range(0..1u64 << 20) & !63)
+                        .collect();
+                    q.push(CoreTask::Stream {
+                        ops,
+                        reads,
+                        writes: vec![],
+                    });
                 }
                 _ => {
                     q.push(CoreTask::NetRequest {

@@ -60,8 +60,7 @@ impl ImageBlur {
                         for kx in -1isize..=1 {
                             let v = image.get_padded(y as isize + ky, x as isize + kx, c);
                             patch.push(v);
-                            acc += v * GAUSSIAN_3X3
-                                [((ky + 1) * 3 + (kx + 1)) as usize];
+                            acc += v * GAUSSIAN_3X3[((ky + 1) * 3 + (kx + 1)) as usize];
                         }
                     }
                     golden[c * h * w + y * w + x] = acc;
@@ -78,7 +77,11 @@ impl ImageBlur {
                 output_base: 0x3000_0000 + (c * h * w * 4) as u64,
             });
         }
-        ImageBlur { image, jobs, golden }
+        ImageBlur {
+            image,
+            jobs,
+            golden,
+        }
     }
 
     /// The input image.

@@ -78,7 +78,13 @@ impl ResnetConv3 {
                 output_base: 0x3000_0000 + (g * h * w * 16) as u64,
             });
         }
-        ResnetConv3 { h, w, groups, jobs, golden }
+        ResnetConv3 {
+            h,
+            w,
+            groups,
+            jobs,
+            golden,
+        }
     }
 
     /// The golden output volume (kernel-major).

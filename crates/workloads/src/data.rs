@@ -39,7 +39,12 @@ impl Image {
                 }
             }
         }
-        Image { height, width, channels, data }
+        Image {
+            height,
+            width,
+            channels,
+            data,
+        }
     }
 
     /// Pixel accessor.
@@ -148,7 +153,10 @@ mod tests {
         let w = synthetic_weights(1000, 0.25, 7);
         assert!(w.iter().all(|v| v.abs() <= 0.25 + 1e-12));
         // Should use many distinct quantization levels.
-        let mut distinct: Vec<i64> = w.iter().map(|v| (v / 0.25 * 127.0).round() as i64).collect();
+        let mut distinct: Vec<i64> = w
+            .iter()
+            .map(|v| (v / 0.25 * 127.0).round() as i64)
+            .collect();
         distinct.sort_unstable();
         distinct.dedup();
         assert!(distinct.len() > 20);

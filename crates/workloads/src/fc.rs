@@ -47,7 +47,11 @@ impl Vgg16Fc {
         let matrix = RMat::from_rows(out_dim, in_dim, weights).expect("sized");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
         let vectors: Vec<Vec<f64>> = (0..batch)
-            .map(|_| (0..in_dim).map(|_| quantize_u8(rng.gen_range(0.0..1.0))).collect())
+            .map(|_| {
+                (0..in_dim)
+                    .map(|_| quantize_u8(rng.gen_range(0.0..1.0)))
+                    .collect()
+            })
             .collect();
         let bias: Vec<f64> = (0..out_dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
         // Golden output for the first batch element (bias included); the
@@ -67,7 +71,11 @@ impl Vgg16Fc {
             input_base: 0x2000_0000,
             output_base: 0x3000_0000,
         };
-        Vgg16Fc { job: [job], bias, golden }
+        Vgg16Fc {
+            job: [job],
+            bias,
+            golden,
+        }
     }
 
     /// The layer's golden output for the first batch element (with bias).

@@ -34,13 +34,19 @@ impl MvmJob {
 
     /// Exact results, one output vector per input vector.
     pub fn golden(&self) -> Vec<Vec<f64>> {
-        self.vectors.iter().map(|v| self.matrix.mul_vec(v)).collect()
+        self.vectors
+            .iter()
+            .map(|v| self.matrix.mul_vec(v))
+            .collect()
     }
 
     /// `(block_rows, block_cols)` when lowered onto an `n`-input fabric
     /// partition (paper Eq. 2).
     pub fn block_grid(&self, n: usize) -> (usize, usize) {
-        (self.matrix.rows().div_ceil(n), self.matrix.cols().div_ceil(n))
+        (
+            self.matrix.rows().div_ceil(n),
+            self.matrix.cols().div_ceil(n),
+        )
     }
 
     /// Total `n×n` block MVMs needed for all vectors.
@@ -128,7 +134,11 @@ mod tests {
 
     #[test]
     fn no_partials_when_single_block_column() {
-        let j = MvmJob { matrix: RMat::identity(4), vectors: vec![vec![1.0; 4]], ..job() };
+        let j = MvmJob {
+            matrix: RMat::identity(4),
+            vectors: vec![vec![1.0; 4]],
+            ..job()
+        };
         assert_eq!(j.partial_sum_adds(4), 0);
     }
 

@@ -15,7 +15,11 @@ use flumen_linalg::RMat;
 pub fn dct8_matrix() -> RMat {
     let n = 8usize;
     RMat::from_fn(n, n, |k, i| {
-        let scale = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+        let scale = if k == 0 {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        };
         scale * ((std::f64::consts::PI / n as f64) * (i as f64 + 0.5) * k as f64).cos()
     })
 }
@@ -46,7 +50,10 @@ impl Jpeg {
     ///
     /// Panics unless `h` and `w` are multiples of 8.
     pub fn with_size(h: usize, w: usize, seed: u64) -> Self {
-        assert!(h.is_multiple_of(8) && w.is_multiple_of(8), "JPEG needs 8-aligned dimensions");
+        assert!(
+            h.is_multiple_of(8) && w.is_multiple_of(8),
+            "JPEG needs 8-aligned dimensions"
+        );
         let image = Image::synthetic(h, w, 1, seed);
         let d = dct8_matrix();
         let blocks_y = h / 8;
@@ -96,7 +103,11 @@ impl Jpeg {
                 output_base: 0x4000_0000,
             },
         ];
-        Jpeg { blocks, jobs, golden }
+        Jpeg {
+            blocks,
+            jobs,
+            golden,
+        }
     }
 
     /// Number of 8×8 blocks (paper: 1536).

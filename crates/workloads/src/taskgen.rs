@@ -95,8 +95,9 @@ pub fn generate(
                 // cores' requests occupy the fabric). The network is quiet
                 // when Algorithm 1 evaluates β, and a core's accumulation
                 // overlaps its peers' fabric time.
-                let chunks: Vec<OffloadChunk> =
-                    wave_jobs.flat_map(|j| split_offload_chunks(j, cfg)).collect();
+                let chunks: Vec<OffloadChunk> = wave_jobs
+                    .flat_map(|j| split_offload_chunks(j, cfg))
+                    .collect();
                 let count = chunks.len();
                 let mut buckets: Vec<OffloadPhases> =
                     (0..sys.cores).map(|_| OffloadPhases::default()).collect();
@@ -156,8 +157,8 @@ fn split_local_units(job: &MvmJob, cfg: &TaskGenConfig) -> Vec<CoreTask> {
     let job_macs = (rows * cols * nvec) as u64;
     let unit_macs = (job_macs / 48).clamp(1_536, cfg.unit_macs);
     let macs_per_vec_row = cols as u64;
-    let rows_per_strip = (unit_macs / (macs_per_vec_row * nvec.min(64) as u64))
-        .clamp(1, rows as u64) as usize;
+    let rows_per_strip =
+        (unit_macs / (macs_per_vec_row * nvec.min(64) as u64)).clamp(1, rows as u64) as usize;
     let vecs_per_chunk =
         (unit_macs / (macs_per_vec_row * rows_per_strip as u64)).clamp(1, nvec as u64) as usize;
 
@@ -170,7 +171,11 @@ fn split_local_units(job: &MvmJob, cfg: &TaskGenConfig) -> Vec<CoreTask> {
             let vs = vecs_per_chunk.min(nvec - v0);
             let macs = (rs * cols * vs) as u64;
             let mut reads = lines(job.weight_base, (r0 * cols) as u64, (rs * cols) as u64);
-            reads.extend(lines(job.input_base, (v0 * cols) as u64, (vs * cols) as u64));
+            reads.extend(lines(
+                job.input_base,
+                (v0 * cols) as u64,
+                (vs * cols) as u64,
+            ));
             let writes = lines(
                 job.output_base,
                 (v0 * rows + r0) as u64 * 4,
@@ -255,14 +260,22 @@ fn split_offload_chunks(job: &MvmJob, cfg: &TaskGenConfig) -> Vec<OffloadChunk> 
             // 1. Read the inputs this node will modulate.
             let reads = lines(job.input_base, (v0 * cols) as u64, (vs * cols) as u64);
             // 2. Partial-sum accumulation + result stores.
-            let partial_adds = if bc > 1 { (sn * n * (bc - 1) * vs) as u64 } else { 0 };
+            let partial_adds = if bc > 1 {
+                (sn * n * (bc - 1) * vs) as u64
+            } else {
+                0
+            };
             let writes = lines(
                 job.output_base,
                 (v0 * rows + row_lo) as u64 * 4,
                 ((row_hi - row_lo).max(1) * vs) as u64 * 4,
             );
             // Fallback: the same work done locally.
-            let mut fb_reads = lines(job.weight_base, (row_lo * cols) as u64, ((row_hi - row_lo) * cols) as u64);
+            let mut fb_reads = lines(
+                job.weight_base,
+                (row_lo * cols) as u64,
+                ((row_hi - row_lo) * cols) as u64,
+            );
             fb_reads.extend(reads.clone());
             let fallback = vec![CoreTask::Stream {
                 ops: (macs as f64 * cfg.ops_per_mac) as u64,
@@ -271,14 +284,22 @@ fn split_offload_chunks(job: &MvmJob, cfg: &TaskGenConfig) -> Vec<OffloadChunk> 
             }];
 
             chunks.push(OffloadChunk {
-                read: CoreTask::Stream { ops: 0, reads, writes: Vec::new() },
+                read: CoreTask::Stream {
+                    ops: 0,
+                    reads,
+                    writes: Vec::new(),
+                },
                 request: CoreTask::External {
                     payload: offload_payload(configs, vs as u64, n as u64, macs),
                     fallback,
                 },
                 // Partial accumulation is a streaming vector add: ~1 op
                 // per accumulated element on a SIMD core.
-                epilogue: CoreTask::Stream { ops: partial_adds, reads: Vec::new(), writes },
+                epilogue: CoreTask::Stream {
+                    ops: partial_adds,
+                    reads: Vec::new(),
+                    writes,
+                },
             });
             v0 += vs;
         }
@@ -313,7 +334,10 @@ mod tests {
             .sum();
         let expected = (b.total_macs() as f64 * cfg.ops_per_mac) as u64;
         let ratio = total_stream_ops as f64 / expected as f64;
-        assert!((0.99..1.01).contains(&ratio), "{total_stream_ops} vs {expected}");
+        assert!(
+            (0.99..1.01).contains(&ratio),
+            "{total_stream_ops} vs {expected}"
+        );
     }
 
     #[test]
@@ -322,8 +346,12 @@ mod tests {
         let qs = generate(&b, &sys(), ExecMode::Local, &TaskGenConfig::default());
         assert_eq!(qs.len(), 64);
         // Barriers everywhere, work somewhere.
-        assert!(qs.iter().all(|q| q.iter().any(|t| matches!(t, CoreTask::Barrier { .. }))));
-        assert!(qs.iter().any(|q| q.iter().any(|t| matches!(t, CoreTask::Stream { .. }))));
+        assert!(qs
+            .iter()
+            .all(|q| q.iter().any(|t| matches!(t, CoreTask::Barrier { .. }))));
+        assert!(qs
+            .iter()
+            .any(|q| q.iter().any(|t| matches!(t, CoreTask::Stream { .. }))));
     }
 
     #[test]

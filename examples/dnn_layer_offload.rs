@@ -42,7 +42,10 @@ fn main() {
                 scale = scale.max(b.abs());
             }
         }
-        println!("  {label}: max |error| = {max_err:.2e} ({:.3}% of full scale)", 100.0 * max_err / scale);
+        println!(
+            "  {label}: max |error| = {max_err:.2e} ({:.3}% of full scale)",
+            100.0 * max_err / scale
+        );
     }
 
     // Full-size system runs.
@@ -55,7 +58,11 @@ fn main() {
         if topo == SystemTopology::Mesh {
             mesh_cycles = r.cycles;
         }
-        let speedup = if mesh_cycles > 0 { mesh_cycles as f64 / r.cycles as f64 } else { 0.0 };
+        let speedup = if mesh_cycles > 0 {
+            mesh_cycles as f64 / r.cycles as f64
+        } else {
+            0.0
+        };
         println!(
             "  {:9} {:>9} cycles ({:>7.1} µs)  {:>8.1} µJ   {:>5.2}x vs mesh",
             topo.name(),

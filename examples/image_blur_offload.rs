@@ -16,12 +16,19 @@ fn main() {
 
     // ── numerical path: every patch through the actual photonic model ──
     let exec = PhotonicExecutor::ideal(4);
-    let results = exec.run_benchmark(&bench, None).expect("photonic execution");
-    assert!(bench.verify(&results, 1e-7), "photonic blur must match golden");
+    let results = exec
+        .run_benchmark(&bench, None)
+        .expect("photonic execution");
+    assert!(
+        bench.verify(&results, 1e-7),
+        "photonic blur must match golden"
+    );
     println!("photonic E-field execution matches the golden blur (tol 1e-7)");
 
     let exec8 = PhotonicExecutor::eight_bit(4);
-    let results8 = exec8.run_benchmark(&bench, Some(256)).expect("8-bit execution");
+    let results8 = exec8
+        .run_benchmark(&bench, Some(256))
+        .expect("8-bit execution");
     let mut max_err = 0.0f64;
     for (job, res) in bench.jobs().iter().zip(&results8) {
         let gold = job.golden();

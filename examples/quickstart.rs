@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use flumen::{FlumenFabric, PartitionConfig};
-use flumen_linalg::{C64, RMat};
+use flumen_linalg::{RMat, C64};
 
 fn main() -> Result<(), flumen::PhotonicsError> {
     // ── 1. Communication: route a permutation through the whole fabric ──
@@ -64,7 +64,10 @@ fn main() -> Result<(), flumen::PhotonicsError> {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("  max |error| = {err:.2e}");
-    assert!(err < 1e-8, "analog result should match to numerical precision");
+    assert!(
+        err < 1e-8,
+        "analog result should match to numerical precision"
+    );
 
     println!("\nall good: one mesh, both jobs.");
     Ok(())

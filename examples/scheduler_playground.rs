@@ -36,7 +36,10 @@ fn main() {
     let mut next_request_at = 500u64;
     let mut tag = 0u64;
     let mut completions = 0u64;
-    println!("{:>7} {:>6} {:>6} {:>9} {:>9} {:>9}", "cycle", "load", "beta", "queued", "admitted", "done");
+    println!(
+        "{:>7} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "cycle", "load", "beta", "queued", "admitted", "done"
+    );
     for cycle in 0..10_000u64 {
         let load = phase_load(cycle);
         let mut inj = BernoulliInjector::new(load, 1024, 256, TrafficPattern::UniformRandom);
@@ -57,11 +60,7 @@ fn main() {
         net.step();
 
         if cycle % 500 == 0 {
-            let beta = buffer_utilization(
-                &net.queue_depths(),
-                sched.zeta,
-                sched.buffer_capacity,
-            );
+            let beta = buffer_utilization(&net.queue_depths(), sched.zeta, sched.buffer_capacity);
             println!(
                 "{:>7} {:>6.2} {:>6.2} {:>9} {:>9} {:>9}",
                 cycle,
@@ -81,5 +80,8 @@ fn main() {
         completions
     );
     println!("expected shape: admissions stall during the 0.55-load burst");
-    println!("(β above η = {:.2}) and the backlog drains once traffic quiets.", sched.eta);
+    println!(
+        "(β above η = {:.2}) and the backlog drains once traffic quiets.",
+        sched.eta
+    );
 }

@@ -16,10 +16,17 @@ fn main() {
         Some("hotspot") => TrafficPattern::Hotspot,
         _ => TrafficPattern::UniformRandom,
     };
-    let cfg = RunConfig { warmup: 1_000, measure: 6_000, ..RunConfig::default() };
+    let cfg = RunConfig {
+        warmup: 1_000,
+        measure: 6_000,
+        ..RunConfig::default()
+    };
 
     println!("latency vs load, pattern = {}", pattern.name());
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "load", "ring", "mesh", "optbus", "flumen");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "load", "ring", "mesh", "optbus", "flumen"
+    );
     for k in 1..=10 {
         let load = 0.05 * k as f64;
         let mut cells = Vec::new();
@@ -31,7 +38,11 @@ fn main() {
                 _ => Box::new(MzimCrossbar::flumen_16()),
             };
             let pt = measure_point(net.as_mut(), pattern, load, &cfg);
-            cells.push(if pt.saturated { "sat".into() } else { format!("{:.1}", pt.avg_latency) });
+            cells.push(if pt.saturated {
+                "sat".into()
+            } else {
+                format!("{:.1}", pt.avg_latency)
+            });
         }
         println!(
             "{:>6.2} {:>10} {:>10} {:>10} {:>10}",

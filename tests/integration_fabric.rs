@@ -5,7 +5,7 @@
 //! golden math.
 
 use flumen::{AnalogModel, FlumenFabric, PartitionConfig, PhotonicExecutor};
-use flumen_linalg::{random_unitary, spectral_norm, C64, RMat};
+use flumen_linalg::{random_unitary, spectral_norm, RMat, C64};
 use flumen_workloads::{dct8_matrix, small_benchmarks, Benchmark, ImageBlur, Jpeg, Rotation3d};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,7 +46,9 @@ fn dct_matrix_runs_on_full_fabric_as_unitary() {
     assert!((spectral_norm(&d).unwrap() - 1.0).abs() < 1e-9);
     let mut fabric = FlumenFabric::new(8).unwrap();
     fabric.configure_unitary(&d.to_cmat()).unwrap();
-    let block_col: Vec<C64> = (0..8).map(|i| C64::from_re(((i as f64) * 0.3).sin())).collect();
+    let block_col: Vec<C64> = (0..8)
+        .map(|i| C64::from_re(((i as f64) * 0.3).sin()))
+        .collect();
     let out = fabric.propagate(&block_col);
     let exact = d.mul_vec(&block_col.iter().map(|z| z.re).collect::<Vec<_>>());
     for (o, e) in out.iter().zip(exact.iter()) {
@@ -59,7 +61,9 @@ fn dct_matrix_runs_on_full_fabric_as_unitary() {
 fn every_small_benchmark_verifies_through_the_photonic_model() {
     for bench in small_benchmarks() {
         let n = if bench.name() == "jpeg" { 8 } else { 4 };
-        let results = PhotonicExecutor::ideal(n).run_benchmark(bench.as_ref(), None).unwrap();
+        let results = PhotonicExecutor::ideal(n)
+            .run_benchmark(bench.as_ref(), None)
+            .unwrap();
         assert!(bench.verify(&results, 1e-7), "{}", bench.name());
     }
 }
@@ -67,7 +71,10 @@ fn every_small_benchmark_verifies_through_the_photonic_model() {
 #[test]
 fn eight_bit_jpeg_dct_stays_within_analog_tolerance() {
     let bench = Jpeg::small();
-    let exec = PhotonicExecutor { n: 8, model: AnalogModel::eight_bit() };
+    let exec = PhotonicExecutor {
+        n: 8,
+        model: AnalogModel::eight_bit(),
+    };
     let results = exec.run_benchmark(&bench, None).unwrap();
     // Coefficients span roughly ±4 after the level shift; a few LSBs of an
     // 8-bit pipeline is ~0.1.
@@ -83,11 +90,16 @@ fn blur_kernel_with_loss_equalization_still_blurs() {
     let img = blur.image();
     let dev = flumen::DeviceParams::paper();
     let mut fabric = FlumenFabric::new(8).unwrap();
-    fabric.configure_permutation(&[6, 4, 2, 0, 7, 5, 3, 1]).unwrap();
+    fabric
+        .configure_permutation(&[6, 4, 2, 0, 7, 5, 3, 1])
+        .unwrap();
     let worst_db = fabric.equalize_losses(&dev).unwrap();
     assert!(worst_db > 0.0);
     let attens = fabric.attenuations();
-    assert!(attens.iter().any(|&a| a < 1.0), "some path must be attenuated");
+    assert!(
+        attens.iter().any(|&a| a < 1.0),
+        "some path must be attenuated"
+    );
     // Modulate with pixel values; the routed outputs carry them exactly
     // (the model keeps loss accounting separate from field propagation).
     let fields: Vec<C64> = (0..8).map(|i| C64::from_re(img.get(0, i, 0))).collect();
@@ -123,7 +135,10 @@ fn spectral_scaling_recovers_large_weights() {
     let big = RMat::from_fn(4, 4, |_, _| rng.gen_range(-10.0..10.0));
     let mut fabric = FlumenFabric::new(8).unwrap();
     fabric
-        .set_partitions(&[(4, PartitionConfig::Compute(&big)), (4, PartitionConfig::Idle)])
+        .set_partitions(&[
+            (4, PartitionConfig::Compute(&big)),
+            (4, PartitionConfig::Idle),
+        ])
         .unwrap();
     let x = [0.3, -0.7, 0.2, 0.9];
     let y = fabric.compute_in(0, &x).unwrap();

@@ -5,7 +5,10 @@ use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
 use flumen_workloads::{small_benchmarks, Rotation3d};
 
 fn quick_cfg() -> RuntimeConfig {
-    RuntimeConfig { max_cycles: 20_000_000, ..RuntimeConfig::paper() }
+    RuntimeConfig {
+        max_cycles: 20_000_000,
+        ..RuntimeConfig::paper()
+    }
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn disabling_pipelining_slows_block_heavy_offload() {
     let bench = flumen_workloads::ImageBlur::small();
     let fast_cfg = quick_cfg();
     let slow_cfg = RuntimeConfig {
-        control: ControlUnitParams { config_pipeline: 0.0, ..ControlUnitParams::paper() },
+        control: ControlUnitParams {
+            config_pipeline: 0.0,
+            ..ControlUnitParams::paper()
+        },
         ..quick_cfg()
     };
     let fast = run_benchmark(&bench, SystemTopology::FlumenA, &fast_cfg);
@@ -95,7 +101,6 @@ fn utilization_trace_reports_low_link_usage() {
     let bench = flumen_workloads::ImageBlur::small();
     let r = flumen::run_utilization_trace(&bench, 64, 200, &cfg);
     assert!(!r.utilization_trace.is_empty());
-    let avg: f64 =
-        r.utilization_trace.iter().sum::<f64>() / r.utilization_trace.len() as f64;
+    let avg: f64 = r.utilization_trace.iter().sum::<f64>() / r.utilization_trace.len() as f64;
     assert!(avg < 0.5, "linear algebra should not saturate links: {avg}");
 }

@@ -43,7 +43,11 @@ fn offload_through_engine_completes_and_counts() {
 fn rejected_offloads_run_their_fallback() {
     // η = -1: the scheduler can never admit; max_wait forces rejection.
     let control = ControlUnitParams {
-        scheduler: SchedulerParams { eta: -1.0, max_wait: 200, ..SchedulerParams::paper() },
+        scheduler: SchedulerParams {
+            eta: -1.0,
+            max_wait: 200,
+            ..SchedulerParams::paper()
+        },
         ..ControlUnitParams::paper()
     };
     let mut tasks: Vec<Vec<CoreTask>> = vec![Vec::new(); 64];
@@ -89,7 +93,10 @@ fn compute_partition_blocks_and_releases_traffic() {
     }
     let (free, blocked) = (free_done.unwrap(), blocked_done.unwrap());
     assert!(free < 30, "unreserved traffic flows immediately: {free}");
-    assert!(blocked > 500, "reserved traffic waits for teardown: {blocked}");
+    assert!(
+        blocked > 500,
+        "reserved traffic waits for teardown: {blocked}"
+    );
     assert!(net.reserved_wires().is_empty(), "partition released");
 }
 

@@ -41,8 +41,14 @@ fn local_runs_touch_the_memory_system() {
     let r = run_local(&ImageBlur::small());
     assert!(r.counts.l1d_accesses > 0);
     assert!(r.counts.l2_accesses > 0);
-    assert!(r.counts.dram_accesses > 0, "cold working set must reach DRAM");
-    assert!(r.counts.nop_packets > 0, "distributed L3 must create traffic");
+    assert!(
+        r.counts.dram_accesses > 0,
+        "cold working set must reach DRAM"
+    );
+    assert!(
+        r.counts.nop_packets > 0,
+        "distributed L3 must create traffic"
+    );
     assert!(r.net_stats.delivered > 0);
 }
 

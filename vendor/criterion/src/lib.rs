@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion 0.5's API that its benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros). Each benchmark is timed with
+//! `std::time::Instant` over `sample_size` samples and the median
+//! per-iteration time is printed — enough to compare hot paths locally,
+//! with none of real criterion's statistics or reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration wall time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, and records the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: median {:?}",
+            self.name, id.name, b.last_median
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            last_median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: median {:?}",
+            self.name, id.name, b.last_median
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.smoke {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// One sample per benchmark (set when run outside `cargo bench`, e.g.
+    /// smoke-testing the bench binaries).
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion parses --bench/--test flags; the stand-in only
+        // distinguishes "run fast" smoke mode, requested via --test or env.
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = 20;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone (ungrouped) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: if self.smoke { 1 } else { 20 },
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {name}: median {:?}", b.last_median);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n * 100).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        let mut c = Criterion { smoke: true };
+        sample_bench(&mut c);
+    }
+}
