@@ -1,13 +1,48 @@
 //! Fig. 1 — link utilization and bandwidth sensitivity of a 16-node
 //! photonic network during Image Blur and VGG16-FC execution, at 16, 32
 //! and 64 wavelengths.
+//!
+//! Pass `--trace` to additionally run a small Image Blur offload on
+//! Flumen-A with the structured tracer attached and dump the event
+//! stream as Chrome-trace JSON (+ JSONL) under the data directory; load
+//! the `.trace.json` in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing` to see scheduler decisions, packet flights and
+//! core offloads on separate tracks.
 
-use flumen::{run_utilization_trace, RuntimeConfig};
-use flumen_bench::{quick_mode, write_csv, Table};
+use flumen::{run_benchmark_traced, run_utilization_trace, RuntimeConfig, SystemTopology};
+use flumen_bench::{out_dir, quick_mode, write_csv, Table};
+use flumen_trace::RecordingTracer;
 use flumen_workloads::{Benchmark, ImageBlur, Vgg16Fc};
+
+/// Runs a small traced Flumen-A benchmark and writes both trace formats.
+fn dump_trace(cfg: &RuntimeConfig) {
+    let bench = ImageBlur::small();
+    let rec = RecordingTracer::new();
+    // Sample the system counters too (utilization, cache misses).
+    let cfg = RuntimeConfig {
+        trace_interval: 100,
+        ..cfg.clone()
+    };
+    let r = run_benchmark_traced(&bench, SystemTopology::FlumenA, &cfg, rec.handle());
+    let events = rec.events();
+    let (chrome, jsonl) =
+        flumen_sweep::sink::write_trace_files(&out_dir(), "fig01_flumen_a", &events);
+    println!(
+        "  traced {} on flumen_a: {} cycles, {} events ({} dropped)",
+        bench.name(),
+        r.cycles,
+        events.len(),
+        rec.dropped()
+    );
+    println!("  → wrote {} (open in Perfetto)", chrome.display());
+    println!("  → wrote {}", jsonl.display());
+}
 
 fn main() {
     let cfg = RuntimeConfig::paper();
+    if std::env::args().any(|a| a == "--trace") {
+        dump_trace(&cfg);
+    }
     let benches: Vec<Box<dyn Benchmark>> = if quick_mode() {
         vec![Box::new(ImageBlur::small()), Box::new(Vgg16Fc::small())]
     } else {

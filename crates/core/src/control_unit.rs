@@ -22,9 +22,10 @@
 //! settling and could never reach the paper's reported speedups — the
 //! ablation binary `abl_reconfig_overhead` quantifies exactly this.
 
-use crate::scheduler::{admit, buffer_utilization, SchedulerParams};
+use crate::scheduler::{admit, buffer_utilization, AdmissionOutcome, SchedulerParams};
 use flumen_noc::MzimCrossbar;
 use flumen_system::{ActivityCounts, ExternalOutcome, ExternalPayload, ExternalServer};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 
 /// Timing/shape parameters of the control unit.
@@ -119,6 +120,7 @@ pub struct MzimControlUnit {
     /// Statistics: requests admitted / rejected.
     admitted: u64,
     rejected: u64,
+    tracer: TraceHandle,
 }
 
 impl MzimControlUnit {
@@ -134,7 +136,23 @@ impl MzimControlUnit {
             finished: Vec::new(),
             admitted: 0,
             rejected: 0,
+            tracer: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a scheduler-category tracer: per-wire `partition` async
+    /// spans (grant → release) and an instant per Algorithm 1 decision
+    /// (named by [`AdmissionOutcome::event_name`]).
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn emit_outcome(&self, outcome: AdmissionOutcome, now: u64, tag: u64, beta: f64) {
+        self.tracer.emit(|| {
+            TraceEvent::instant(TraceCategory::Scheduler, outcome.event_name(), now, 0)
+                .with_id(tag)
+                .with_arg("beta", beta)
+        });
     }
 
     /// Requests admitted so far.
@@ -185,6 +203,7 @@ impl MzimControlUnit {
             if now.saturating_sub(head.arrived) > params.scheduler.max_wait {
                 self.queue.pop_front();
                 self.rejected += 1;
+                self.emit_outcome(AdmissionOutcome::TimedOut, now, head.tag, f64::NAN);
                 self.finished.push(ExternalOutcome {
                     tag: head.tag,
                     accepted: false,
@@ -197,11 +216,13 @@ impl MzimControlUnit {
                 params.scheduler.buffer_capacity,
             );
             if !admit(beta, &params.scheduler) {
+                self.emit_outcome(AdmissionOutcome::Deferred, now, head.tag, beta);
                 break;
             }
             let width = (head.n as usize).min(params.fabric_n);
             let prefer = head.chiplet / params.chiplets_per_wire;
             let Some(wires) = self.find_wires(width, prefer) else {
+                self.emit_outcome(AdmissionOutcome::Deferred, now, head.tag, beta);
                 break;
             };
             let ports: Vec<usize> = wires
@@ -216,8 +237,19 @@ impl MzimControlUnit {
             self.queue.pop_front();
             for &w in &wires {
                 self.wire_busy[w] = true;
+                self.tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Scheduler,
+                        "partition",
+                        EventKind::AsyncBegin,
+                        now,
+                        w as u32,
+                    )
+                    .with_id(head.tag)
+                });
             }
             let cost = params.service_cost(head.configs, head.vectors, head.n);
+            self.emit_outcome(AdmissionOutcome::Admitted, now, head.tag, beta);
             self.admitted += 1;
             self.counts.mzim_reconfigs += head.configs;
             self.counts.mzim_mvms += head.configs * head.vectors;
@@ -243,6 +275,12 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
         payload: ExternalPayload,
     ) {
         let [configs, vectors, n, _macs] = payload;
+        self.tracer.emit(|| {
+            TraceEvent::instant(TraceCategory::Scheduler, "request", now, 0)
+                .with_id(tag)
+                .with_arg("configs", configs as f64)
+                .with_arg("n", n as f64)
+        });
         self.queue.push_back(CompRequest {
             tag,
             chiplet,
@@ -265,6 +303,16 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
                 let done = self.active.swap_remove(i);
                 for w in &done.wires {
                     self.wire_busy[*w] = false;
+                    self.tracer.emit(|| {
+                        TraceEvent::new(
+                            TraceCategory::Scheduler,
+                            "partition",
+                            EventKind::AsyncEnd,
+                            now,
+                            *w as u32,
+                        )
+                        .with_id(done.tag)
+                    });
                 }
                 let _ = net.release_wires(&done.ports);
                 self.finished.push(ExternalOutcome {
@@ -285,6 +333,7 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
             if beta > self.params.scheduler.reject_beta {
                 while let Some(req) = self.queue.pop_front() {
                     self.rejected += 1;
+                    self.emit_outcome(AdmissionOutcome::Rejected, now, req.tag, beta);
                     self.finished.push(ExternalOutcome {
                         tag: req.tag,
                         accepted: false,
@@ -460,6 +509,34 @@ mod tests {
         assert_eq!(counts.mzim_mvms, 320);
         assert_eq!(counts.mzim_input_samples, 320 * 4);
         assert!(counts.mzim_active_cycles > 0);
+    }
+
+    #[test]
+    fn trace_partition_spans_alternate_per_wire() {
+        use flumen_trace::{invariants, RecordingTracer};
+        let rec = RecordingTracer::new();
+        let mut cu = unit();
+        cu.set_tracer(rec.handle());
+        let mut net = net16();
+        cu.on_request(0, 0, 1, 1, [20, 64, 4, 0]);
+        cu.on_request(0, 4, 9, 2, [20, 64, 4, 0]);
+        drive(&mut cu, &mut net, 5_000);
+        let evs = rec.events();
+        assert!(evs.iter().any(|e| e.name == "request"));
+        assert!(evs.iter().any(|e| e.name == "admit"));
+        // Both requests ran; every wire was granted and released cleanly.
+        let grants = invariants::partition_alternation(&evs).unwrap();
+        assert!(
+            grants >= 8,
+            "two width-4 partitions grant ≥ 8 wires: {grants}"
+        );
+        // Every span closed: no wire still held after both completions.
+        let begins = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::AsyncBegin)
+            .count();
+        let ends = evs.iter().filter(|e| e.kind == EventKind::AsyncEnd).count();
+        assert_eq!(begins, ends);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::control_unit::{ControlUnitParams, MzimControlUnit};
 use flumen_noc::{CrossbarConfig, MzimCrossbar, NetStats, OpticalBus, RoutedNetwork};
 use flumen_power::{system_energy, EnergyBreakdown, EnergyParams, NopKind};
 use flumen_system::{ActivityCounts, NullServer, SystemConfig, SystemSim};
+use flumen_trace::TraceHandle;
 use flumen_workloads::taskgen::{self, ExecMode, TaskGenConfig};
 use flumen_workloads::Benchmark;
 
@@ -161,6 +162,23 @@ pub fn run_benchmark(
     topology: SystemTopology,
     cfg: &RuntimeConfig,
 ) -> FullRunResult {
+    run_benchmark_traced(bench, topology, cfg, TraceHandle::disabled())
+}
+
+/// Runs `bench` on `topology` with a structured-event tracer installed:
+/// the system engine, attached network and (for Flumen-A) the MZIM
+/// control unit all emit through `tracer`. With the disabled handle this
+/// is exactly [`run_benchmark`].
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds `cfg.max_cycles` without finishing.
+pub fn run_benchmark_traced(
+    bench: &dyn Benchmark,
+    topology: SystemTopology,
+    cfg: &RuntimeConfig,
+    tracer: TraceHandle,
+) -> FullRunResult {
     let mode = match topology {
         SystemTopology::FlumenA => ExecMode::Offload,
         _ => ExecMode::Local,
@@ -177,6 +195,7 @@ pub fn run_benchmark(
             .expect("ring of ≥3 chiplets"),
             cfg,
             tasks,
+            tracer,
         ),
         SystemTopology::Mesh => {
             let (w, h) = mesh_dims(chiplets);
@@ -191,22 +210,27 @@ pub fn run_benchmark(
                 .expect("mesh of ≥2×2 chiplets"),
                 cfg,
                 tasks,
+                tracer,
             )
         }
         SystemTopology::OptBus => run_sim(
             OpticalBus::new(chiplets, flumen_noc::BusConfig::default()).expect("optbus"),
             cfg,
             tasks,
+            tracer,
         ),
         SystemTopology::FlumenI => run_sim(
             MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar"),
             cfg,
             tasks,
+            tracer,
         ),
         SystemTopology::FlumenA => {
             let net = MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar");
-            let server = MzimControlUnit::new(cfg.control.clone());
+            let mut server = MzimControlUnit::new(cfg.control.clone());
+            server.set_tracer(tracer.clone());
             let mut sim = SystemSim::new(cfg.system.clone(), net, server, tasks);
+            sim.set_tracer(tracer);
             sim.set_trace_interval(cfg.trace_interval);
             let r = sim.run(cfg.max_cycles);
             assert!(
@@ -242,8 +266,10 @@ fn run_sim<N: flumen_noc::Network>(
     net: N,
     cfg: &RuntimeConfig,
     tasks: Vec<Vec<flumen_system::CoreTask>>,
+    tracer: TraceHandle,
 ) -> (u64, ActivityCounts, NetStats, Vec<f64>) {
     let mut sim = SystemSim::new(cfg.system.clone(), net, NullServer::default(), tasks);
+    sim.set_tracer(tracer);
     sim.set_trace_interval(cfg.trace_interval);
     let r = sim.run(cfg.max_cycles);
     assert!(

@@ -67,6 +67,35 @@ pub fn admit(beta: f64, params: &SchedulerParams) -> bool {
     beta <= params.eta
 }
 
+/// How one admission evaluation of a queued compute request resolved.
+/// The variants double as the scheduler-category trace event names, so
+/// the trace stream and the decision logic cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// β ≤ η and wires were free: a partition was carved out.
+    Admitted,
+    /// Network pressure (or wire fragmentation) postponed the request;
+    /// it stays queued for the next τ boundary.
+    Deferred,
+    /// β exceeded the reject threshold; the core computes locally.
+    Rejected,
+    /// The request waited past `max_wait` and was bounced to local
+    /// compute.
+    TimedOut,
+}
+
+impl AdmissionOutcome {
+    /// Stable lowercase trace event name.
+    pub fn event_name(&self) -> &'static str {
+        match self {
+            AdmissionOutcome::Admitted => "admit",
+            AdmissionOutcome::Deferred => "defer",
+            AdmissionOutcome::Rejected => "reject",
+            AdmissionOutcome::TimedOut => "timeout",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +168,20 @@ mod tests {
         assert_eq!(buffer_utilization(&[], 0.0, 16), 0.0);
         assert_eq!(buffer_utilization(&[], 1.0, 16), 0.0);
         assert_eq!(buffer_utilization(&[4, 4], 0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn outcome_event_names_are_distinct() {
+        let names: std::collections::HashSet<&str> = [
+            AdmissionOutcome::Admitted,
+            AdmissionOutcome::Deferred,
+            AdmissionOutcome::Rejected,
+            AdmissionOutcome::TimedOut,
+        ]
+        .iter()
+        .map(|o| o.event_name())
+        .collect();
+        assert_eq!(names.len(), 4);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::{Network, NocError, Result};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 
 /// Tuning parameters for an optical bus.
@@ -54,6 +55,7 @@ pub struct OpticalBus {
     in_flight: Vec<(u64, Packet)>,
     cycle: u64,
     stats: NetStats,
+    tracer: TraceHandle,
 }
 
 impl OpticalBus {
@@ -78,6 +80,7 @@ impl OpticalBus {
             in_flight: Vec::new(),
             cycle: 0,
             stats: NetStats::new(buses),
+            tracer: TraceHandle::disabled(),
         })
     }
 
@@ -94,6 +97,10 @@ impl OpticalBus {
 }
 
 impl Network for OpticalBus {
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
     fn num_nodes(&self) -> usize {
         self.nodes
     }
@@ -101,6 +108,19 @@ impl Network for OpticalBus {
     fn inject(&mut self, pkt: Packet) {
         self.stats.injected += 1;
         self.stats.bits_injected += pkt.bits as u64;
+        let now = self.cycle;
+        self.tracer.emit(|| {
+            TraceEvent::new(
+                TraceCategory::Noc,
+                "pkt",
+                EventKind::AsyncBegin,
+                now,
+                pkt.src as u32,
+            )
+            .with_id(pkt.id)
+            .with_arg("ndest", pkt.dests().len() as f64)
+            .with_arg("bits", pkt.bits as f64)
+        });
         self.src_queues[pkt.src].push_back(pkt);
     }
 
@@ -120,6 +140,19 @@ impl Network for OpticalBus {
                     self.bus_busy_until[b] = busy;
                     self.stats.link_busy[b] += ser + self.cfg.arbitration_delay;
                     self.stats.bit_hops += pkt.bits as u64;
+                    #[cfg(feature = "deep-trace")]
+                    {
+                        let occ = self.stats.link_busy[b];
+                        self.tracer.emit(|| {
+                            TraceEvent::new(
+                                TraceCategory::Noc,
+                                "link_busy",
+                                EventKind::Counter(occ as f64),
+                                now,
+                                b as u32,
+                            )
+                        });
+                    }
                     self.in_flight.push((busy + self.cfg.port_latency, pkt));
                     self.rr = (node + 1) % self.nodes;
                     break;
@@ -135,6 +168,17 @@ impl Network for OpticalBus {
                 for d in pkt.dests() {
                     let lat = now.saturating_sub(pkt.created_at);
                     self.stats.record_latency(lat);
+                    self.tracer.emit(|| {
+                        TraceEvent::new(
+                            TraceCategory::Noc,
+                            "pkt",
+                            EventKind::AsyncEnd,
+                            now,
+                            d as u32,
+                        )
+                        .with_id(pkt.id)
+                        .with_arg("lat", lat as f64)
+                    });
                     let mut p = pkt.clone();
                     p.dst = d;
                     p.extra_dests.clear();

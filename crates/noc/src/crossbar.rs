@@ -17,6 +17,7 @@ use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::wavefront::WavefrontArbiter;
 use crate::{Network, NocError, Result};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 
 /// Tuning parameters for the MZIM crossbar.
@@ -63,6 +64,7 @@ pub struct MzimCrossbar {
     in_flight: Vec<(u64, Packet)>,
     cycle: u64,
     stats: NetStats,
+    tracer: TraceHandle,
 }
 
 impl MzimCrossbar {
@@ -92,6 +94,7 @@ impl MzimCrossbar {
             in_flight: Vec::new(),
             cycle: 0,
             stats: NetStats::new(nodes),
+            tracer: TraceHandle::disabled(),
         })
     }
 
@@ -115,8 +118,11 @@ impl MzimCrossbar {
                 });
             }
         }
+        let now = self.cycle;
         for &w in wires {
             self.reserved[w] = true;
+            self.tracer
+                .emit(|| TraceEvent::instant(TraceCategory::Noc, "wire_reserve", now, w as u32));
         }
         Ok(())
     }
@@ -135,8 +141,11 @@ impl MzimCrossbar {
                 });
             }
         }
+        let now = self.cycle;
         for &w in wires {
             self.reserved[w] = false;
+            self.tracer
+                .emit(|| TraceEvent::instant(TraceCategory::Noc, "wire_release", now, w as u32));
         }
         Ok(())
     }
@@ -165,6 +174,11 @@ impl MzimCrossbar {
             0
         } else {
             self.stats.reconfigurations += 1;
+            self.tracer.emit(|| {
+                TraceEvent::instant(TraceCategory::Noc, "reconfig", now, input as u32)
+                    .with_id(pkt.id)
+                    .with_arg("ndest", dests.len() as f64)
+            });
             self.cfg.reconfig_cycles
         };
         self.last_config[input] = if dests.len() == 1 {
@@ -179,11 +193,28 @@ impl MzimCrossbar {
         }
         self.stats.link_busy[input] += reconf + ser;
         self.stats.bit_hops += pkt.bits as u64;
+        #[cfg(feature = "deep-trace")]
+        {
+            let occ = self.stats.link_busy[input];
+            self.tracer.emit(|| {
+                TraceEvent::new(
+                    TraceCategory::Noc,
+                    "link_busy",
+                    EventKind::Counter(occ as f64),
+                    now,
+                    input as u32,
+                )
+            });
+        }
         self.in_flight.push((busy + self.cfg.port_latency, pkt));
     }
 }
 
 impl Network for MzimCrossbar {
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
     fn num_nodes(&self) -> usize {
         self.nodes
     }
@@ -191,6 +222,19 @@ impl Network for MzimCrossbar {
     fn inject(&mut self, pkt: Packet) {
         self.stats.injected += 1;
         self.stats.bits_injected += pkt.bits as u64;
+        let now = self.cycle;
+        self.tracer.emit(|| {
+            TraceEvent::new(
+                TraceCategory::Noc,
+                "pkt",
+                EventKind::AsyncBegin,
+                now,
+                pkt.src as u32,
+            )
+            .with_id(pkt.id)
+            .with_arg("ndest", pkt.dests().len() as f64)
+            .with_arg("bits", pkt.bits as f64)
+        });
         if pkt.is_multicast() {
             self.mcast_queues[pkt.src].push_back(pkt);
         } else {
@@ -251,6 +295,17 @@ impl Network for MzimCrossbar {
                 for d in pkt.dests() {
                     let lat = now.saturating_sub(pkt.created_at);
                     self.stats.record_latency(lat);
+                    self.tracer.emit(|| {
+                        TraceEvent::new(
+                            TraceCategory::Noc,
+                            "pkt",
+                            EventKind::AsyncEnd,
+                            now,
+                            d as u32,
+                        )
+                        .with_id(pkt.id)
+                        .with_arg("lat", lat as f64)
+                    });
                     let mut p = pkt.clone();
                     p.dst = d;
                     p.extra_dests.clear();
@@ -343,6 +398,27 @@ mod tests {
         assert_eq!(got.len(), 4);
         assert_eq!(net.stats().bit_hops, 512);
         assert_eq!(net.stats().injected, 1);
+    }
+
+    #[test]
+    fn trace_multicast_one_begin_many_ends() {
+        use flumen_trace::RecordingTracer;
+        let rec = RecordingTracer::new();
+        let mut net = MzimCrossbar::flumen_16();
+        net.set_tracer(rec.handle());
+        net.inject(Packet::multicast(1, 0, &[3, 7, 11, 15], 512, 0));
+        drain(&mut net, 30);
+        let evs = rec.events();
+        let begins: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::AsyncBegin)
+            .collect();
+        assert_eq!(begins.len(), 1, "physical multicast is one transmission");
+        assert_eq!(begins[0].arg("ndest"), Some(4.0));
+        let ends = evs.iter().filter(|e| e.kind == EventKind::AsyncEnd).count();
+        assert_eq!(ends, 4);
+        assert!(evs.iter().any(|e| e.name == "reconfig"));
+        assert_eq!(flumen_trace::invariants::packet_conservation(&evs), Ok(1));
     }
 
     #[test]

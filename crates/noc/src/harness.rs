@@ -116,6 +116,22 @@ where
         .collect()
 }
 
+/// Steps the network until it drains (no pending packets) or `max_cycles`
+/// elapse; returns the number of deliveries observed while draining.
+/// Conservation-style tests run this after their injection phase so every
+/// in-flight packet reaches its trace `AsyncEnd` before the stream is
+/// checked.
+pub fn drain<N: Network + ?Sized>(net: &mut N, max_cycles: u64) -> u64 {
+    let mut delivered = 0u64;
+    for _ in 0..max_cycles {
+        delivered += net.step().len() as u64;
+        if net.pending() == 0 {
+            break;
+        }
+    }
+    delivered
+}
+
 /// Injects an explicit packet schedule (cycle-stamped) and runs until the
 /// network drains or `max_cycles` elapse. Returns total cycles simulated.
 /// Used by trace-driven studies (e.g. Fig. 1 link-utilization traces).

@@ -54,6 +54,11 @@ pub use wavefront::WavefrontArbiter;
 /// All four topologies implement this; the system simulator drives them
 /// interchangeably.
 pub trait Network {
+    /// Installs a trace sink. Every topology emits per-packet `pkt` async
+    /// spans (inject → one end per destination) through it; the disabled
+    /// default handle makes instrumentation free. The default method
+    /// ignores the handle so minimal implementations stay valid.
+    fn set_tracer(&mut self, _tracer: flumen_trace::TraceHandle) {}
     /// Endpoint count.
     fn num_nodes(&self) -> usize;
     /// Queues a packet at its source (open-loop: the source queue is

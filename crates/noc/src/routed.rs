@@ -9,6 +9,7 @@
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::{Network, NocError, Result};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 
 /// Shape of a routed electrical network.
@@ -91,6 +92,7 @@ pub struct RoutedNetwork {
     in_flight: Vec<(u64, usize, usize, TimedPkt)>,
     cycle: u64,
     stats: NetStats,
+    tracer: TraceHandle,
 }
 
 /// Out-port indices: neighbors first, local ejection last.
@@ -133,6 +135,7 @@ impl RoutedNetwork {
             in_flight: Vec::new(),
             cycle: 0,
             stats: NetStats::new(n * (ports + 1)),
+            tracer: TraceHandle::disabled(),
         })
     }
 
@@ -270,6 +273,19 @@ impl RoutedNetwork {
             let lid = self.link_id(r, out);
             self.stats.link_busy[lid] += ser;
             self.stats.bit_hops += tp.pkt.bits as u64;
+            #[cfg(feature = "deep-trace")]
+            {
+                let busy = self.stats.link_busy[lid];
+                self.tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Noc,
+                        "link_busy",
+                        EventKind::Counter(busy as f64),
+                        now,
+                        lid as u32,
+                    )
+                });
+            }
             tp.ready_at = now + ser + self.cfg.link_latency + self.cfg.router_delay;
             self.in_flight
                 .push((now + ser + self.cfg.link_latency, next, next_in, tp));
@@ -279,12 +295,17 @@ impl RoutedNetwork {
 }
 
 impl Network for RoutedNetwork {
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
     fn num_nodes(&self) -> usize {
         self.topo.nodes()
     }
 
     fn inject(&mut self, pkt: Packet) {
-        // Electrical networks replicate multicasts at the source.
+        // Electrical networks replicate multicasts at the source; each
+        // replica gets its own id and its own trace span.
         if pkt.is_multicast() {
             for (i, d) in pkt.dests().into_iter().enumerate() {
                 let mut p = pkt.clone();
@@ -297,6 +318,19 @@ impl Network for RoutedNetwork {
         }
         self.stats.injected += 1;
         self.stats.bits_injected += pkt.bits as u64;
+        let now = self.cycle;
+        self.tracer.emit(|| {
+            TraceEvent::new(
+                TraceCategory::Noc,
+                "pkt",
+                EventKind::AsyncBegin,
+                now,
+                pkt.src as u32,
+            )
+            .with_id(pkt.id)
+            .with_arg("ndest", 1.0)
+            .with_arg("bits", pkt.bits as f64)
+        });
         self.src_queues[pkt.src].push_back(pkt);
     }
 
@@ -323,6 +357,17 @@ impl Network for RoutedNetwork {
                 if in_port == usize::MAX {
                     let lat = now.saturating_sub(tp.pkt.created_at);
                     self.stats.record_latency(lat);
+                    self.tracer.emit(|| {
+                        TraceEvent::new(
+                            TraceCategory::Noc,
+                            "pkt",
+                            EventKind::AsyncEnd,
+                            now,
+                            node as u32,
+                        )
+                        .with_id(tp.pkt.id)
+                        .with_arg("lat", lat as f64)
+                    });
                     deliveries.push(Delivery {
                         packet: tp.pkt,
                         at: now,
@@ -419,6 +464,25 @@ mod tests {
         far.inject(Packet::new(1, 0, 15, 512, 0));
         let l_far = drain(&mut far, 200)[0].latency();
         assert!(l_far > l_near, "{l_far} vs {l_near}");
+    }
+
+    #[test]
+    fn trace_spans_cover_inject_to_eject() {
+        use flumen_trace::RecordingTracer;
+        let rec = RecordingTracer::new();
+        let mut net = RoutedNetwork::ring_16();
+        net.set_tracer(rec.handle());
+        net.inject(Packet::multicast(1, 0, &[2, 4], 512, 0));
+        drain(&mut net, 200);
+        let evs = rec.events();
+        let begins = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::AsyncBegin)
+            .count();
+        let ends = evs.iter().filter(|e| e.kind == EventKind::AsyncEnd).count();
+        assert_eq!(begins, 2, "replicated multicast begins one span per copy");
+        assert_eq!(ends, 2);
+        assert_eq!(flumen_trace::invariants::packet_conservation(&evs), Ok(2));
     }
 
     #[test]

@@ -47,26 +47,16 @@ impl NetStats {
         self.latency_hist[bucket] += 1;
     }
 
-    /// Approximate latency percentile (upper edge of the histogram bucket
-    /// containing the quantile). `None` before any delivery.
+    /// Approximate latency percentile, linearly interpolated within the
+    /// histogram bucket containing the quantile. `q = 0.0` returns the
+    /// lower edge of the fastest occupied bucket, `q = 1.0` the true
+    /// maximum latency. `None` before any delivery.
     ///
     /// # Panics
     ///
-    /// Panics unless `q ∈ (0, 1]`.
+    /// Panics unless `q ∈ [0, 1]`.
     pub fn latency_percentile(&self, q: f64) -> Option<u64> {
-        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
-        if self.delivered == 0 {
-            return None;
-        }
-        let target = (self.delivered as f64 * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_hist.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return Some(1u64 << (i + 1));
-            }
-        }
-        Some(self.latency_max)
+        flumen_trace::pow2_percentile(&self.latency_hist, self.delivered, self.latency_max, q)
     }
 
     /// Mean end-to-end latency in cycles (`None` before any delivery).
@@ -155,14 +145,58 @@ mod tests {
         let p100 = s.latency_percentile(1.0).unwrap();
         assert!(p50 <= 8, "p50 bucket {p50}");
         assert!(p99 <= 8, "p99 still in the fast bucket: {p99}");
-        assert!(p100 >= 1000, "max bucket covers the straggler: {p100}");
+        assert_eq!(p100, 1000, "q=1 returns the true maximum");
         assert_eq!(NetStats::new(0).latency_percentile(0.5), None);
     }
 
     #[test]
+    fn percentile_accepts_interval_endpoints() {
+        let mut s = NetStats::new(0);
+        for lat in [4u64, 5, 6, 7] {
+            s.record_latency(lat);
+        }
+        // q=0 is the lower edge of the fastest occupied bucket ([4, 8)).
+        assert_eq!(s.latency_percentile(0.0), Some(4));
+        assert_eq!(s.latency_percentile(1.0), Some(7));
+    }
+
+    #[test]
+    fn percentile_empty_returns_none_at_endpoints() {
+        assert_eq!(NetStats::new(0).latency_percentile(0.0), None);
+        assert_eq!(NetStats::new(0).latency_percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_single_delivery_is_exact_at_extremes() {
+        let mut s = NetStats::new(0);
+        s.record_latency(37);
+        // One delivery: q=1 is the value itself; the interpolated median
+        // stays inside the value's bucket [32, 37].
+        assert_eq!(s.latency_percentile(1.0), Some(37));
+        let p50 = s.latency_percentile(0.5).unwrap();
+        assert!((32..=37).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut s = NetStats::new(0);
+        for lat in [1u64, 3, 9, 27, 81, 243, 729] {
+            s.record_latency(lat);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let vals: Vec<u64> = qs
+            .iter()
+            .map(|&q| s.latency_percentile(q).unwrap())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+    }
+
+    #[test]
     #[should_panic(expected = "quantile")]
-    fn percentile_rejects_zero() {
-        let _ = NetStats::new(0).latency_percentile(0.0);
+    fn percentile_rejects_above_one() {
+        let mut s = NetStats::new(0);
+        s.record_latency(1);
+        let _ = s.latency_percentile(1.5);
     }
 
     #[test]

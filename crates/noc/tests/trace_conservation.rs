@@ -1,0 +1,160 @@
+//! Property test: the trace stream proves flit conservation.
+//!
+//! Every fabric emits an AsyncBegin `pkt` event on injection and an
+//! AsyncEnd per destination delivery. For any topology, traffic pattern
+//! and load, [`flumen_trace::invariants::packet_conservation`] must
+//! accept the recorded stream: every injected packet ejects exactly once
+//! per destination, nothing is duplicated, nothing is lost.
+
+use flumen_noc::harness::drain;
+use flumen_noc::traffic::{BernoulliInjector, TrafficPattern};
+use flumen_noc::{
+    BusConfig, CrossbarConfig, MzimCrossbar, Network, OpticalBus, Packet, RoutedConfig,
+    RoutedNetwork, RoutedTopology,
+};
+use flumen_trace::{invariants, EventKind, RecordingTracer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives `net` under Bernoulli traffic for `warm` cycles, drains it,
+/// and checks the recorded trace for conservation. Returns the number of
+/// completed flights.
+fn check_trace_conservation<N: Network>(
+    mut net: N,
+    seed: u64,
+    pattern: TrafficPattern,
+    load: f64,
+) -> Result<usize, String> {
+    let rec = RecordingTracer::new();
+    net.set_tracer(rec.handle());
+    let n = net.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inj = BernoulliInjector::new(load, 512, 256, pattern);
+    for _ in 0..200u64 {
+        let now = net.cycle();
+        for p in inj.generate(n, now, &mut rng) {
+            net.inject(p);
+        }
+        net.step();
+    }
+    drain(&mut net, 500_000);
+    if net.pending() != 0 {
+        return Err("network failed to drain".into());
+    }
+    if rec.dropped() != 0 {
+        return Err(format!("recorder dropped {} events", rec.dropped()));
+    }
+    invariants::packet_conservation(&rec.events())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ring_trace_conserves_flits(seed in any::<u32>(), pi in 0usize..4, load in 0.05f64..0.5) {
+        let pattern = TrafficPattern::all()[pi % TrafficPattern::all().len()];
+        let flights = check_trace_conservation(
+            RoutedNetwork::new(RoutedTopology::Ring { nodes: 16 }, RoutedConfig::default()).unwrap(),
+            seed as u64, pattern, load,
+        ).unwrap();
+        prop_assert!(flights > 0 || load < 0.1, "no traffic recorded at load {load}");
+    }
+
+    #[test]
+    fn mesh_trace_conserves_flits(seed in any::<u32>(), pi in 0usize..4, load in 0.05f64..0.5) {
+        let pattern = TrafficPattern::all()[pi % TrafficPattern::all().len()];
+        check_trace_conservation(
+            RoutedNetwork::new(
+                RoutedTopology::Mesh { width: 4, height: 4 },
+                RoutedConfig::default(),
+            ).unwrap(),
+            seed as u64, pattern, load,
+        ).unwrap();
+    }
+
+    #[test]
+    fn optbus_trace_conserves_flits(seed in any::<u32>(), pi in 0usize..4, load in 0.05f64..0.4) {
+        let pattern = TrafficPattern::all()[pi % TrafficPattern::all().len()];
+        check_trace_conservation(
+            OpticalBus::new(16, BusConfig::default()).unwrap(),
+            seed as u64, pattern, load,
+        ).unwrap();
+    }
+
+    #[test]
+    fn crossbar_trace_conserves_flits(seed in any::<u32>(), pi in 0usize..4, load in 0.05f64..0.5) {
+        let pattern = TrafficPattern::all()[pi % TrafficPattern::all().len()];
+        check_trace_conservation(
+            MzimCrossbar::new(16, CrossbarConfig::default()).unwrap(),
+            seed as u64, pattern, load,
+        ).unwrap();
+    }
+
+    /// Photonic multicast: one begin with ndest = K, K ends.
+    #[test]
+    fn crossbar_multicast_trace_conserves(mask in 1u16..0xFFFF) {
+        let mut net = MzimCrossbar::new(16, CrossbarConfig::default()).unwrap();
+        let rec = RecordingTracer::new();
+        net.set_tracer(rec.handle());
+        let dests: Vec<usize> = (1..16).filter(|i| mask >> i & 1 == 1).collect();
+        prop_assume!(!dests.is_empty());
+        net.inject(Packet::multicast(1, 0, &dests, 512, 0));
+        drain(&mut net, 10_000);
+        let flights = invariants::packet_conservation(&rec.events()).unwrap();
+        prop_assert_eq!(flights, 1);
+        let ends = rec.events().iter()
+            .filter(|e| e.kind == EventKind::AsyncEnd)
+            .count();
+        prop_assert_eq!(ends, dests.len());
+    }
+}
+
+/// The checker fails loudly when a delivery goes missing: removing one
+/// ejection from a healthy stream must flag the packet as in flight.
+#[test]
+fn checker_flags_lost_packet() {
+    let mut net =
+        RoutedNetwork::new(RoutedTopology::Ring { nodes: 16 }, RoutedConfig::default()).unwrap();
+    let rec = RecordingTracer::new();
+    net.set_tracer(rec.handle());
+    for i in 0..8u64 {
+        net.inject(Packet::new(
+            i,
+            i as usize % 16,
+            (i as usize + 5) % 16,
+            512,
+            0,
+        ));
+    }
+    drain(&mut net, 10_000);
+    let mut evs = rec.events();
+    assert_eq!(invariants::packet_conservation(&evs), Ok(8));
+    let at = evs
+        .iter()
+        .rposition(|e| e.kind == EventKind::AsyncEnd)
+        .unwrap();
+    evs.remove(at);
+    let err = invariants::packet_conservation(&evs).unwrap_err();
+    assert!(err.contains("in flight"), "unexpected error: {err}");
+}
+
+/// And when a delivery is duplicated: replaying an ejection must be
+/// reported as a multiple-eject.
+#[test]
+fn checker_flags_duplicated_delivery() {
+    let mut net = MzimCrossbar::new(16, CrossbarConfig::default()).unwrap();
+    let rec = RecordingTracer::new();
+    net.set_tracer(rec.handle());
+    net.inject(Packet::new(1, 0, 9, 512, 0));
+    drain(&mut net, 10_000);
+    let mut evs = rec.events();
+    let end = evs
+        .iter()
+        .find(|e| e.kind == EventKind::AsyncEnd)
+        .unwrap()
+        .clone();
+    evs.push(end);
+    let err = invariants::packet_conservation(&evs).unwrap_err();
+    assert!(err.contains("ejected 2 times"), "unexpected error: {err}");
+}

@@ -12,6 +12,7 @@
 
 use crate::cache::ResultCache;
 use crate::job::{JobResult, JobSpec};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -135,6 +136,12 @@ pub struct SweepReport {
     pub records: Vec<JobRecord>,
     /// Total sweep wall time, ms.
     pub wall_ms: f64,
+    /// Wall-clock executor timeline: one [`TraceCategory::Sweep`]
+    /// span per executed job (track = worker index, ts = µs since the
+    /// sweep started) and one `cache_hit` instant per cache-served job.
+    /// Feed to [`crate::sink::write_trace_files`] or the
+    /// `flumen_trace` exporters directly.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl SweepReport {
@@ -176,6 +183,8 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
     let hashes: Vec<String> = plan.jobs().iter().map(JobSpec::content_hash).collect();
     let mut slots: Vec<Option<(JobResult, bool, f64)>> = vec![None; plan.len()];
 
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+
     // Resolve cache hits first (serial: this is pure file I/O).
     if !opts.force {
         for (i, hash) in hashes.iter().enumerate() {
@@ -183,6 +192,16 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
                 if opts.verbose {
                     eprintln!("  [sweep] cached  {}", plan.jobs()[i].label());
                 }
+                trace_events.push(
+                    TraceEvent::instant(
+                        TraceCategory::Sweep,
+                        "cache_hit",
+                        t0.elapsed().as_micros() as u64,
+                        0,
+                    )
+                    .with_id(i as u64)
+                    .with_arg("orig_wall_ms", entry.wall_ms),
+                );
                 slots[i] = Some((entry.result, true, entry.wall_ms));
             }
         }
@@ -209,11 +228,13 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
     type WorkerOutcome = Option<Result<(JobResult, f64), String>>;
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..unique.len()).collect());
     let done: Mutex<Vec<WorkerOutcome>> = Mutex::new(vec![None; unique.len()]);
+    let spans: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
     let workers = opts.threads.clamp(1, unique.len().max(1));
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let (spans, queue, done, unique, cache) = (&spans, &queue, &done, &unique, &cache);
+            scope.spawn(move || loop {
                 let Some(u) = queue.lock().unwrap().pop_front() else {
                     break;
                 };
@@ -221,6 +242,7 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
                 if opts.verbose {
                     eprintln!("  [sweep] running {}", spec.label());
                 }
+                let begin_us = t0.elapsed().as_micros() as u64;
                 let tj = Instant::now();
                 let outcome =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.execute()));
@@ -239,12 +261,39 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
                         Err(msg)
                     }
                 };
+                let end_us = t0.elapsed().as_micros() as u64;
+                let label = spec.label();
+                let mut sp = spans.lock().unwrap();
+                sp.push(
+                    TraceEvent::new(
+                        TraceCategory::Sweep,
+                        label.clone(),
+                        EventKind::SpanBegin,
+                        begin_us,
+                        w as u32,
+                    )
+                    .with_id(u as u64),
+                );
+                sp.push(
+                    TraceEvent::new(
+                        TraceCategory::Sweep,
+                        label,
+                        EventKind::SpanEnd,
+                        end_us.max(begin_us + 1),
+                        w as u32,
+                    )
+                    .with_id(u as u64)
+                    .with_arg("wall_ms", wall),
+                );
                 done.lock().unwrap()[u] = Some(entry);
             });
         }
     });
 
     // Fan executed results out to their plan positions.
+    let mut spans = spans.into_inner().unwrap();
+    spans.sort_by_key(|e| e.ts);
+    trace_events.extend(spans);
     let done = done.into_inner().unwrap();
     let mut failures: Vec<String> = Vec::new();
     for ((spec, positions), outcome) in unique.into_iter().zip(done) {
@@ -280,5 +329,6 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
         results,
         records,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        trace_events,
     }
 }

@@ -36,6 +36,30 @@ pub fn write_results_jsonl(path: &Path, report: &SweepReport) {
     fs::write(path, out).expect("write results jsonl");
 }
 
+/// Writes a recorded event stream twice: Chrome-trace JSON (open in
+/// Perfetto / `chrome://tracing`) at `<stem>.trace.json` and one event
+/// per line at `<stem>.trace.jsonl`. Returns the two paths.
+///
+/// Pass [`SweepReport::trace_events`] for the executor timeline, or any
+/// stream drained from a `flumen_trace::RecordingTracer`.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_trace_files(
+    dir: &Path,
+    stem: &str,
+    events: &[flumen_trace::TraceEvent],
+) -> (std::path::PathBuf, std::path::PathBuf) {
+    fs::create_dir_all(dir).expect("create trace dir");
+    let chrome = dir.join(format!("{stem}.trace.json"));
+    fs::write(&chrome, flumen_trace::chrome::to_chrome_json(events)).expect("write chrome trace");
+    let jsonl = dir.join(format!("{stem}.trace.jsonl"));
+    let mut f = fs::File::create(&jsonl).expect("create trace jsonl");
+    flumen_trace::jsonl::write_jsonl(&mut f, events).expect("write trace jsonl");
+    (chrome, jsonl)
+}
+
 /// Writes a CSV file (headers + rows).
 ///
 /// # Panics
@@ -137,6 +161,49 @@ mod tests {
             fs::read_to_string(base.join("t.csv")).unwrap(),
             "a,b\n1,2\n"
         );
+
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn trace_sink_writes_both_formats() {
+        use flumen_trace::EventKind;
+        let base = std::env::temp_dir().join(format!("flumen-sweep-trace-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+
+        let mut plan = SweepPlan::new();
+        plan.push(JobSpec::NocPoint {
+            net: NetSpec::Ring { nodes: 8 },
+            pattern: TrafficPattern::Shuffle,
+            load: 0.05,
+            cfg: RunConfig {
+                warmup: 50,
+                measure: 200,
+                ..RunConfig::default()
+            },
+        });
+        let report = run_plan(&plan, &SweepOptions::serial_in(base.join("cache")));
+        // One executed job → one begin + one end span on the timeline.
+        let begins = report
+            .trace_events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin)
+            .count();
+        assert_eq!(begins, 1);
+        assert_eq!(report.trace_events.len(), 2);
+
+        let (chrome, jsonl) = write_trace_files(&base, "sweep", &report.trace_events);
+        let cj = fs::read_to_string(&chrome).unwrap();
+        assert!(cj.starts_with('[') && cj.contains("\"ph\":\"B\""));
+        assert_eq!(fs::read_to_string(&jsonl).unwrap().lines().count(), 2);
+
+        // A re-run is served from cache and leaves a cache_hit instant.
+        let again = run_plan(&plan, &SweepOptions::serial_in(base.join("cache")));
+        assert_eq!(again.cache_hits(), 1);
+        assert!(again
+            .trace_events
+            .iter()
+            .any(|e| e.name == "cache_hit" && e.kind == EventKind::Instant));
 
         fs::remove_dir_all(&base).unwrap();
     }

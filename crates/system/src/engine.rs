@@ -19,6 +19,7 @@ use crate::config::SystemConfig;
 use crate::counts::ActivityCounts;
 use crate::tasks::CoreTask;
 use flumen_noc::{NetStats, Network, Packet};
+use flumen_trace::{TraceCategory, TraceEvent, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 
 /// Opaque request payload passed from a core to the external server.
@@ -164,6 +165,7 @@ pub struct SystemSim<N: Network, S: ExternalServer<N>> {
     trace_interval: u64,
     trace: Vec<f64>,
     last_trace_busy: u64,
+    tracer: TraceHandle,
 }
 
 impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
@@ -214,6 +216,7 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             trace_interval: 0,
             trace: Vec::new(),
             last_trace_busy: 0,
+            tracer: TraceHandle::disabled(),
         }
     }
 
@@ -221,6 +224,15 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
     /// (cycles); 0 disables.
     pub fn set_trace_interval(&mut self, interval: u64) {
         self.trace_interval = interval;
+    }
+
+    /// Installs a structured-event tracer: the system emits offload and
+    /// barrier instants plus sampled cache/utilization counters (sampled
+    /// on the [`SystemSim::set_trace_interval`] window), and the same
+    /// handle is forwarded to the attached network for per-packet spans.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.net.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The system configuration.
@@ -279,6 +291,11 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
         let outcomes = self.server.step(now, &mut self.net);
         for o in outcomes {
             if let Some((core, fallback)) = self.external_waiting.remove(&o.tag) {
+                self.tracer.emit(|| {
+                    TraceEvent::instant(TraceCategory::Core, "offload_done", now, core as u32)
+                        .with_id(o.tag)
+                        .with_arg("accepted", if o.accepted { 1.0 } else { 0.0 })
+                });
                 self.cores[core].waiting = self.cores[core].waiting.saturating_sub(1);
                 if !o.accepted {
                     for t in fallback.into_iter().rev() {
@@ -312,8 +329,16 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             let links = self.net.stats().link_busy.len().max(1) as u64;
             let delta = busy - self.last_trace_busy;
             self.last_trace_busy = busy;
-            self.trace
-                .push(delta as f64 / (self.trace_interval as f64 * links as f64));
+            let util = delta as f64 / (self.trace_interval as f64 * links as f64);
+            self.trace.push(util);
+            self.tracer
+                .emit(|| TraceEvent::counter(TraceCategory::System, "link_util", now, 0, util));
+            let l2 = self.counts.l2_misses;
+            self.tracer
+                .emit(|| TraceEvent::counter(TraceCategory::System, "l2_miss", now, 0, l2 as f64));
+            let l3 = self.counts.l3_misses;
+            self.tracer
+                .emit(|| TraceEvent::counter(TraceCategory::System, "l3_miss", now, 0, l3 as f64));
         }
 
         self.cycle += 1;
@@ -397,6 +422,10 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                             core.barrier = None;
                         }
                     }
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(TraceCategory::Core, "barrier_release", now, c as u32)
+                            .with_id(id as u64)
+                    });
                 } else {
                     self.cores[c].barrier = Some(id);
                 }
@@ -406,6 +435,9 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                 let chiplet = self.cfg.chiplet_of(c);
                 self.cores[c].waiting = 1;
                 self.counts.offload_requests += 1;
+                self.tracer.emit(|| {
+                    TraceEvent::instant(TraceCategory::Core, "offload", now, c as u32).with_id(tag)
+                });
                 self.external_waiting.insert(tag, (c, fallback));
                 self.server.on_request(now, c, chiplet, tag, payload);
             }
@@ -755,6 +787,45 @@ mod tests {
         assert!(r.counts.dram_accesses > 0);
         // Writebacks (fire-and-forget) on top of request/reply pairs.
         assert!(r.counts.nop_packets as f64 > 2.0 * r.counts.l2_misses as f64 * 0.9);
+    }
+
+    #[test]
+    fn tracer_captures_core_and_system_events() {
+        use flumen_trace::{EventKind, RecordingTracer, TraceCategory};
+        let cfg = tiny_cfg();
+        let addrs: Vec<u64> = (0..64u64).map(|i| 64 + i * 4 * 64).collect();
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Stream {
+            ops: 0,
+            reads: addrs,
+            writes: vec![],
+        });
+        tasks[1].push(CoreTask::External {
+            payload: [0; 4],
+            fallback: vec![],
+        });
+        for t in tasks.iter_mut() {
+            t.push(CoreTask::Barrier { id: 7 });
+        }
+        let rec = RecordingTracer::new();
+        let mut sim = SystemSim::new(cfg, net4(), NullServer::default(), tasks);
+        sim.set_tracer(rec.handle());
+        sim.set_trace_interval(50);
+        let r = sim.run(1_000_000);
+        assert!(r.cycles > 0);
+        let evs = rec.events();
+        let has = |cat: TraceCategory, name: &str| {
+            evs.iter().any(|e| e.category == cat && e.name == name)
+        };
+        assert!(has(TraceCategory::Core, "offload"));
+        assert!(has(TraceCategory::Core, "offload_done"));
+        assert!(has(TraceCategory::Core, "barrier_release"));
+        assert!(has(TraceCategory::System, "link_util"));
+        assert!(has(TraceCategory::System, "l2_miss"));
+        // The forwarded handle reaches the network: packet spans appear.
+        assert!(evs
+            .iter()
+            .any(|e| e.category == TraceCategory::Noc && e.kind == EventKind::AsyncBegin));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! JSONL exporter: one canonical JSON object per event, one per line.
+//!
+//! The line format matches the conventions of the `flumen-sweep` sink
+//! machinery (sorted keys, LF-terminated lines) so trace streams can ride
+//! alongside result JSONL files in an output directory and be parsed back
+//! with the same in-repo JSON reader.
+
+use crate::event::{EventKind, TraceEvent};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn fmt_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(out, "{}", v as i64);
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("Infinity");
+    } else {
+        out.push_str("-Infinity");
+    }
+}
+
+/// Renders one event as a single JSON line (keys in sorted order, LF
+/// terminated).
+pub fn to_json_line(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    // Keys ordered alphabetically: args, cat, id, kind, name, track, ts,
+    // value — matching the sweep sinks' canonical-JSON convention.
+    out.push('{');
+    if !ev.args.is_empty() {
+        out.push_str("\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":");
+            fmt_f64(*v, &mut out);
+        }
+        out.push_str("},");
+    }
+    let _ = write!(out, "\"cat\":\"{}\",", ev.category.name());
+    if ev.id != 0 {
+        let _ = write!(out, "\"id\":{},", ev.id);
+    }
+    let _ = write!(out, "\"kind\":\"{}\",\"name\":\"", ev.kind.name());
+    escape_json(&ev.name, &mut out);
+    let _ = write!(out, "\",\"track\":{},\"ts\":{}", ev.track, ev.ts);
+    if let EventKind::Counter(v) = ev.kind {
+        out.push_str(",\"value\":");
+        fmt_f64(v, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes every event as one JSON line; returns the number of lines.
+pub fn write_jsonl<W: Write>(w: &mut W, events: &[TraceEvent]) -> io::Result<usize> {
+    for ev in events {
+        w.write_all(to_json_line(ev).as_bytes())?;
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceCategory;
+
+    #[test]
+    fn line_shape() {
+        let ev = TraceEvent::new(TraceCategory::Noc, "pkt", EventKind::AsyncBegin, 3, 2)
+            .with_id(9)
+            .with_arg("bits", 512.0);
+        let line = to_json_line(&ev);
+        assert_eq!(
+            line,
+            "{\"args\":{\"bits\":512},\"cat\":\"noc\",\"id\":9,\
+             \"kind\":\"async_begin\",\"name\":\"pkt\",\"track\":2,\"ts\":3}\n"
+        );
+    }
+
+    #[test]
+    fn counter_carries_value() {
+        let ev = TraceEvent::counter(TraceCategory::System, "util", 7, 0, 0.5);
+        let line = to_json_line(&ev);
+        assert!(line.contains("\"kind\":\"counter\""));
+        assert!(line.ends_with("\"value\":0.5}\n"));
+    }
+
+    #[test]
+    fn zero_id_omitted() {
+        let ev = TraceEvent::instant(TraceCategory::Core, "barrier", 1, 0);
+        assert!(!to_json_line(&ev).contains("\"id\""));
+    }
+
+    #[test]
+    fn writer_counts_lines() {
+        let evs = vec![
+            TraceEvent::instant(TraceCategory::Core, "a", 0, 0),
+            TraceEvent::instant(TraceCategory::Core, "b", 1, 0),
+        ];
+        let mut buf = Vec::new();
+        let n = write_jsonl(&mut buf, &evs).unwrap();
+        assert_eq!(n, 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! A bounded in-memory event recorder — the test seam behind the
+//! invariant suite and the source buffer for the exporters.
+
+use crate::event::TraceEvent;
+use crate::tracer::{TraceHandle, Tracer};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A ring buffer of events: the newest `capacity` events are kept, older
+/// ones are dropped (and counted) once the buffer is full.
+#[derive(Debug)]
+pub struct RecordingTracer {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Default ring capacity: generous for full small-benchmark runs while
+/// bounding memory to tens of megabytes.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+impl RecordingTracer {
+    /// A recorder with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Arc<Self> {
+        RecordingTracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "ring buffer needs capacity ≥ 1");
+        Arc::new(RecordingTracer {
+            inner: Mutex::new(Ring {
+                capacity,
+                events: VecDeque::with_capacity(capacity.min(1 << 12)),
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// A [`TraceHandle`] delivering into this recorder.
+    pub fn handle(self: &Arc<Self>) -> TraceHandle {
+        TraceHandle::new(self.clone() as Arc<dyn Tracer>)
+    }
+
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted because the ring was full. Invariant
+    /// tests assert this stays zero — a truncated stream cannot prove
+    /// conservation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Discards all recorded events (keeps the drop count).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().events.clear();
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn record(&self, ev: TraceEvent) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceCategory;
+
+    #[test]
+    fn records_in_order() {
+        let rec = RecordingTracer::new();
+        let h = rec.handle();
+        for i in 0..10u64 {
+            h.emit(|| TraceEvent::instant(TraceCategory::Noc, "e", i, 0));
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 10);
+        assert!(evs.windows(2).all(|w| w[0].ts < w[1].ts));
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = RecordingTracer::with_capacity(4);
+        let h = rec.handle();
+        for i in 0..10u64 {
+            h.emit(|| TraceEvent::instant(TraceCategory::Noc, "e", i, 0));
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].ts, 6, "oldest surviving event");
+        assert_eq!(rec.dropped(), 6);
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let rec = RecordingTracer::with_capacity(2);
+        let h = rec.handle();
+        for i in 0..3u64 {
+            h.emit(|| TraceEvent::instant(TraceCategory::Noc, "e", i, 0));
+        }
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = RecordingTracer::with_capacity(0);
+    }
+}
