@@ -6,7 +6,7 @@
 //! this study quantifies how quickly Flumen-A's advantage recovers.
 
 use flumen::{run_benchmark, RuntimeConfig, SystemTopology};
-use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_bench::{quick_mode, speedup, write_csv, Table};
 use flumen_workloads::Vgg16Fc;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
         cfg.max_cycles = 400_000_000;
         let mesh = run_benchmark(&bench, SystemTopology::Mesh, &cfg);
         let fa = run_benchmark(&bench, SystemTopology::FlumenA, &cfg);
-        let s = mesh.cycles as f64 / fa.cycles as f64;
+        let s = speedup(mesh.cycles, fa.cycles);
         let e = mesh.total_energy_j() / fa.total_energy_j();
         table.row(vec![
             batch.to_string(),

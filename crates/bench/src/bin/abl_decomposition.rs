@@ -13,6 +13,7 @@ use flumen_linalg::random_unitary;
 use flumen_photonics::clements;
 use flumen_photonics::reck;
 use flumen_photonics::{MzimMesh, ThermalModel};
+use flumen_units::Radians;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,7 +38,7 @@ fn main() {
                     let prog = clements::decompose(&u).unwrap();
                     let mut mesh = MzimMesh::new(n);
                     clements::program_mesh(&mut mesh, &u).unwrap();
-                    ThermalModel::new(0.01, 42).apply(&mut mesh);
+                    ThermalModel::new(Radians::new(0.01), 42).apply(&mut mesh);
                     (
                         reck::max_path_depth(&prog),
                         (&mesh.transfer_matrix() - &u).max_abs(),
@@ -47,7 +48,7 @@ fn main() {
                     let prog = reck::decompose(&u).unwrap();
                     let mut mesh = reck::reck_mesh(n);
                     reck::program_reck_mesh(&mut mesh, &u).unwrap();
-                    ThermalModel::new(0.01, 42).apply(&mut mesh);
+                    ThermalModel::new(Radians::new(0.01), 42).apply(&mut mesh);
                     (
                         reck::max_path_depth(&prog),
                         (&mesh.transfer_matrix() - &u).max_abs(),
@@ -55,7 +56,8 @@ fn main() {
                 }
             };
             let loss_db = depth as f64 * dev.mzi_loss_db();
-            let laser = dev.laser_wall_power_mw(loss_db);
+            let laser = dev.laser_wall_power_mw(loss_db).value();
+            let loss_db = loss_db.value();
             table.row(vec![
                 n.to_string(),
                 layout.into(),

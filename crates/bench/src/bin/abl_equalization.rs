@@ -5,7 +5,7 @@
 
 use flumen::{DeviceParams, FlumenFabric};
 use flumen_bench::{write_csv, Table};
-use flumen_photonics::db_to_lin;
+use flumen_units::Decibels;
 
 fn main() {
     let dev = DeviceParams::paper();
@@ -22,25 +22,25 @@ fn main() {
         let mut fabric = FlumenFabric::new(8).unwrap();
         fabric.configure_permutation(perm).unwrap();
         // Received power spread before equalization: per-path MZI counts.
-        let losses: Vec<f64> = (0..8)
+        let losses: Vec<Decibels> = (0..8)
             .map(|s| fabric.trace_route(s).unwrap().mzis_traversed as f64 * dev.mzi_loss_db())
             .collect();
-        let max = losses.iter().cloned().fold(f64::MIN, f64::max);
-        let min = losses.iter().cloned().fold(f64::MAX, f64::min);
+        let max = losses.iter().map(|l| l.value()).fold(f64::MIN, f64::max);
+        let min = losses.iter().map(|l| l.value()).fold(f64::MAX, f64::min);
         let spread_off = max - min;
-        let worst = fabric.equalize_losses(&dev).unwrap();
+        let worst = fabric.equalize_losses(&dev).unwrap().value();
         // After equalization: every path power equals the worst case.
         let powers: Vec<f64> = (0..8)
             .map(|s| {
                 let t = fabric.trace_route(s).unwrap();
-                let path = db_to_lin(-(t.mzis_traversed as f64 * dev.mzi_loss_db()));
+                let path = (-(t.mzis_traversed as f64 * dev.mzi_loss_db())).to_linear();
                 let a = fabric.attenuations()[t.mid_wire];
                 path * a * a
             })
             .collect();
         let pmax = powers.iter().cloned().fold(f64::MIN, f64::max);
         let pmin = powers.iter().cloned().fold(f64::MAX, f64::min);
-        let spread_on = 10.0 * (pmax / pmin).log10();
+        let spread_on = Decibels::from_linear(pmax / pmin).value();
         table.row(vec![
             format!("p{k}"),
             format!("{spread_off:.3}"),

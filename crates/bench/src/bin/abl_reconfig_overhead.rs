@@ -9,7 +9,7 @@
 //!    latency on Flumen-A vs Flumen-I (paper: ~9 % increase).
 
 use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
-use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_bench::{quick_mode, speedup, write_csv, Table};
 use flumen_workloads::{Benchmark, ImageBlur, Vgg16Fc};
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
             };
             cfg.max_cycles = 400_000_000;
             let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
-            let s = mesh.cycles as f64 / fa.cycles as f64;
+            let s = speedup(mesh.cycles, fa.cycles);
             table.row(vec![
                 bench.name().into(),
                 format!("{pipeline:.3}"),

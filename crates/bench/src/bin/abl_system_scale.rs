@@ -9,7 +9,7 @@
 
 use flumen::scheduler::SchedulerParams;
 use flumen::{ControlUnitParams, RuntimeConfig, SystemTopology};
-use flumen_bench::{bench_specs, run_sweep, write_csv, Table};
+use flumen_bench::{bench_specs, run_sweep, speedup, write_csv, Table};
 use flumen_power::area;
 use flumen_sweep::{BenchKind, JobSpec, SweepPlan};
 use flumen_system::SystemConfig;
@@ -69,7 +69,7 @@ fn main() {
     for (i, chiplets) in CHIPLET_COUNTS.into_iter().enumerate() {
         let mesh = report.results[2 * i].full_run();
         let fa = report.results[2 * i + 1].full_run();
-        let s = mesh.cycles as f64 / fa.cycles as f64;
+        let s = speedup(mesh.cycles, fa.cycles);
         let fabric_mm2 = area::mzim_area_mm2(chiplets / 2);
         table.row(vec![
             chiplets.to_string(),

@@ -10,6 +10,7 @@ use flumen_linalg::RMat;
 use flumen_photonics::{
     crosstalk_floor_db, routing, AnalogModel, CouplerImbalance, MzimMesh, SvdCircuit, ThermalModel,
 };
+use flumen_units::Radians;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,8 +22,8 @@ fn main() {
         let mut mesh = MzimMesh::new(16);
         let perm: Vec<usize> = (0..16).map(|i| (i * 5 + 3) % 16).collect();
         routing::route_permutation(&mut mesh, &perm).unwrap();
-        ThermalModel::new(sigma, 7).apply(&mut mesh);
-        let xt = crosstalk_floor_db(&mesh);
+        ThermalModel::new(Radians::new(sigma), 7).apply(&mut mesh);
+        let xt = crosstalk_floor_db(&mesh).value();
         t1.row(vec![format!("{sigma:.4}"), format!("{xt:.1}")]);
         rows1.push(vec![format!("{sigma:.5}"), format!("{xt:.3}")]);
     }
@@ -81,15 +82,15 @@ fn main() {
         let perm: Vec<usize> = (0..16).rev().collect();
         routing::route_permutation(&mut mesh, &perm).unwrap();
         c.apply(&mut mesh);
-        let xt = crosstalk_floor_db(&mesh);
+        let xt = crosstalk_floor_db(&mesh).value();
         t3.row(vec![
             format!("{delta:.2}"),
-            format!("{:.1}", c.extinction_db()),
+            format!("{:.1}", c.extinction_db().value()),
             format!("{xt:.1}"),
         ]);
         rows3.push(vec![
             format!("{delta:.3}"),
-            format!("{:.2}", c.extinction_db()),
+            format!("{:.2}", c.extinction_db().value()),
             format!("{xt:.2}"),
         ]);
     }

@@ -3,7 +3,7 @@
 //! runtime, photonic energy and speedup on ResNet50 Conv3).
 
 use flumen::{run_benchmark, ControlUnitParams, RuntimeConfig, SystemTopology};
-use flumen_bench::{quick_mode, write_csv, Table};
+use flumen_bench::{quick_mode, speedup, write_csv, Table};
 use flumen_power::compute;
 use flumen_workloads::{Benchmark, ResnetConv3};
 
@@ -34,7 +34,7 @@ fn main() {
         };
         cfg.max_cycles = 400_000_000;
         let fa = run_benchmark(bench.as_ref(), SystemTopology::FlumenA, &cfg);
-        let s = mesh.cycles as f64 / fa.cycles as f64;
+        let s = speedup(mesh.cycles, fa.cycles);
         let pj = compute::flumen_mac_pj(4, lambdas);
         table.row(vec![
             lambdas.to_string(),

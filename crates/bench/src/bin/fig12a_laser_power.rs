@@ -4,6 +4,7 @@
 use flumen::DeviceParams;
 use flumen_bench::{write_csv, Table};
 use flumen_photonics::loss;
+use flumen_units::{Decibels, Milliwatts};
 
 fn main() {
     println!("Fig. 12a: laser power (mW/λ) vs MRR thru loss, 16-node NoP");
@@ -11,23 +12,23 @@ fn main() {
     let losses = [0.01, 0.02, 0.03, 0.04, 0.05, 0.1];
     for &l in &losses {
         let mut dev = DeviceParams::paper();
-        dev.mrr_thru_loss_db = l;
+        dev.mrr_thru_loss_db = Decibels::new(l);
         for (name, f) in [
             (
                 "optbus",
-                loss::optbus_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64,
+                loss::optbus_laser_power_mw as fn(usize, usize, &DeviceParams) -> Milliwatts,
             ),
             (
                 "flumen",
-                loss::flumen_laser_power_mw as fn(usize, usize, &DeviceParams) -> f64,
+                loss::flumen_laser_power_mw as fn(usize, usize, &DeviceParams) -> Milliwatts,
             ),
         ] {
             table.row(vec![
                 format!("{l:.2}"),
                 name.into(),
-                format!("{:.4}", f(16, 16, &dev)),
-                format!("{:.4}", f(16, 32, &dev)),
-                format!("{:.4}", f(16, 64, &dev)),
+                format!("{:.4}", f(16, 16, &dev).value()),
+                format!("{:.4}", f(16, 32, &dev).value()),
+                format!("{:.4}", f(16, 64, &dev).value()),
             ]);
         }
     }
@@ -39,8 +40,8 @@ fn main() {
     );
 
     let dev = DeviceParams::paper();
-    let ob = loss::optbus_laser_power_mw(16, 32, &dev);
-    let fl = loss::flumen_laser_power_mw(16, 32, &dev);
+    let ob = loss::optbus_laser_power_mw(16, 32, &dev).value();
+    let fl = loss::flumen_laser_power_mw(16, 32, &dev).value();
     println!("\n  operating point 32λ / 0.1 dB:");
     println!("    optbus  {ob:8.2} mW   (paper: 32.3 mW)");
     println!("    flumen  {:8.4} mW   (paper: 0.4296 mW)", fl);

@@ -1,7 +1,7 @@
 //! Fig. 14 — speedup of Flumen-A over Ring, Mesh, OptBus and Flumen-I.
 
 use flumen::SystemTopology;
-use flumen_bench::{bench_names, geomean, grid_row, run_grid, write_csv, Table};
+use flumen_bench::{bench_names, geomean, grid_row, run_grid, speedup, write_csv, Table};
 
 fn main() {
     println!("Fig. 14: Flumen-A speedup per benchmark");
@@ -18,11 +18,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut vs_mesh = Vec::new();
     for b in &benches {
-        let fa = grid_row(&grid, b, SystemTopology::FlumenA).cycles as f64;
+        let fa = grid_row(&grid, b, SystemTopology::FlumenA).cycles;
         let mut cells = vec![b.clone()];
         let mut csv = vec![b.clone()];
         for base in baselines {
-            let s = grid_row(&grid, b, base).cycles as f64 / fa;
+            let s = speedup(grid_row(&grid, b, base).cycles, fa);
             if base == SystemTopology::Mesh {
                 vs_mesh.push(s);
             }

@@ -191,6 +191,13 @@ pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.2}x")
 }
 
+/// Cycle-count speedup of `subject` over `baseline` (`baseline ÷
+/// subject`) — the one blessed cycles→float site for the figure binaries.
+pub fn speedup(baseline_cycles: u64, subject_cycles: u64) -> f64 {
+    // flumen-check: allow(no-bare-cast) — dimensionless cycle ratio; the units cancel
+    baseline_cycles as f64 / subject_cycles as f64
+}
+
 /// Simple fixed-width table printer.
 #[derive(Debug, Default)]
 pub struct Table {

@@ -1,0 +1,483 @@
+//! A hand-rolled Rust lexer, just deep enough for lint analysis.
+//!
+//! The build environment is offline, so `syn` is not available; the lints
+//! in this crate only need a faithful token stream with line numbers —
+//! identifiers, literals, punctuation — plus the line comments (where the
+//! `// flumen-check: allow(...)` directives live). The tricky parts a
+//! naive scanner gets wrong are all handled: nested block comments, raw
+//! and byte strings, char literals vs. lifetimes, and numeric literals
+//! with suffixes (`10f64`), underscores, exponents and method calls on
+//! numbers (`1.0f64.sqrt()`, `10f64.powf(x)`).
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`cycles`, `as`, `fn`, …).
+    Ident(String),
+    /// Integer literal, verbatim (`42`, `0x1F`, `1_000u64`).
+    Int(String),
+    /// Float literal, verbatim (`1.5`, `10f64`, `2e-3`).
+    Float(String),
+    /// String literal (cooked, raw or byte); the *uncooked* contents,
+    /// escapes unprocessed.
+    Str(String),
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any other single character (`{`, `.`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` comment (doc comments included), with leading slashes stripped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineComment {
+    /// Comment text after the `//` / `///` / `//!` marker, untrimmed.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `src` into tokens and line comments. Unrecognized bytes become
+/// [`TokKind::Punct`]; the lexer never fails.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<LineComment>) {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    comments: Vec<LineComment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.toks.push(Tok { kind, line });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<LineComment>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let s = self.cooked_string();
+                    self.push(TokKind::Str(s), line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), line);
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        // Strip the extra marker of `///` and `//!` doc comments.
+        if matches!(self.peek(0), Some('/') | Some('!')) {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(LineComment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string (opening quote at the cursor) and returns
+    /// its uncooked contents.
+    fn cooked_string(&mut self) -> String {
+        self.bump();
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    s.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        s.push(e);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    s.push(c);
+                    self.bump();
+                }
+            }
+        }
+        s
+    }
+
+    /// Consumes a raw string `r"…"` / `r#"…"#` (cursor on the `r`, after
+    /// any `b`) and returns its contents.
+    fn raw_string(&mut self) -> String {
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut s = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A quote closes only when followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        s.push(c);
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            s.push(c);
+            self.bump();
+        }
+        s
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'x'` and `'\n'` are chars; `'a`, `'static` are lifetimes. A
+        // backslash next means char; otherwise it is a char only if the
+        // quote closes after exactly one character.
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '
+            self.bump(); // backslash
+            self.bump(); // escaped char
+            while let Some(c) = self.peek(0) {
+                // Consume to the closing quote ('\u{1F600}' spans more).
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, line);
+        } else if self.peek(2) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push(TokKind::Char, line);
+        } else {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            // Radix literal: digits, letters and underscores, plus suffix.
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int(text), line);
+            return;
+        }
+        self.digits(&mut text);
+        // Fractional part — but `1..n` is a range and `1.max(2)` a method
+        // call, so only consume the dot when a digit follows (or nothing
+        // ident-like, covering trailing-dot floats like `1.`).
+        if self.peek(0) == Some('.') {
+            let next = self.peek(1);
+            let is_fraction = match next {
+                Some(c) => c.is_ascii_digit(),
+                None => true,
+            };
+            let is_trailing_dot = !is_fraction
+                && next != Some('.')
+                && !next.is_some_and(|c| c == '_' || c.is_alphabetic());
+            if is_fraction || is_trailing_dot {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                self.digits(&mut text);
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (sign, first_digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some('+') | Some('-') => first_digit.is_some_and(|c| c.is_ascii_digit()),
+                Some(c) => c.is_ascii_digit(),
+                None => false,
+            };
+            if has_exp {
+                is_float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if matches!(self.peek(0), Some('+') | Some('-')) {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                self.digits(&mut text);
+            }
+        }
+        // Type suffix (`f64`, `u32`, `usize`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        if is_float {
+            self.push(TokKind::Float(text), line);
+        } else {
+            self.push(TokKind::Int(text), line);
+        }
+    }
+
+    fn digits(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        // String/char prefixes: r"…", r#"…"#, b"…", br"…", b'…'.
+        let c0 = self.peek(0);
+        if c0 == Some('r') {
+            if self.peek(1) == Some('"')
+                || (self.peek(1) == Some('#')
+                    && matches!(self.peek(2), Some('"') | Some('#'))
+                    && self.raw_string_follows(1))
+            {
+                let s = self.raw_string();
+                self.push(TokKind::Str(s), line);
+                return;
+            }
+        } else if c0 == Some('b') {
+            match self.peek(1) {
+                Some('\'') => {
+                    self.bump(); // b
+                    self.char_or_lifetime(line);
+                    return;
+                }
+                Some('"') => {
+                    self.bump(); // b
+                    let s = self.cooked_string();
+                    self.push(TokKind::Str(s), line);
+                    return;
+                }
+                Some('r') if matches!(self.peek(2), Some('"') | Some('#')) => {
+                    self.bump(); // b
+                    let s = self.raw_string();
+                    self.push(TokKind::Str(s), line);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident(name), line);
+    }
+
+    /// Whether `r#…` starting at offset `from` (on the first `#`) is a raw
+    /// string rather than a raw identifier (`r#fn`).
+    fn raw_string_follows(&self, from: usize) -> bool {
+        let mut k = from;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        assert_eq!(
+            kinds("1.5 10f64 0x1F 1_000 2e-3 0..8"),
+            vec![
+                TokKind::Float("1.5".into()),
+                TokKind::Float("10f64".into()),
+                TokKind::Int("0x1F".into()),
+                TokKind::Int("1_000".into()),
+                TokKind::Float("2e-3".into()),
+                TokKind::Int("0".into()),
+                TokKind::Punct('.'),
+                TokKind::Punct('.'),
+                TokKind::Int("8".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_call_on_float_literal() {
+        assert_eq!(
+            kinds("10f64.powf(x)"),
+            vec![
+                TokKind::Float("10f64".into()),
+                TokKind::Punct('.'),
+                TokKind::Ident("powf".into()),
+                TokKind::Punct('('),
+                TokKind::Ident("x".into()),
+                TokKind::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(
+            kinds("'a' 'x 'static '\\n' b'z'"),
+            vec![
+                TokKind::Char,
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char,
+                TokKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_raw_and_escaped() {
+        assert_eq!(
+            kinds(r##""a\"b" r"raw" r#"ra"w"# b"bytes""##),
+            vec![
+                TokKind::Str("a\\\"b".into()),
+                TokKind::Str("raw".into()),
+                TokKind::Str("ra\"w".into()),
+                TokKind::Str("bytes".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let (toks, comments) = lex("let x = 1; // trailing\n/* block\n */ y\n// own line\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].text, " trailing");
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].text, " own line");
+        assert_eq!(comments[1].line, 4);
+        // Block comment swallowed, `y` lands on line 3.
+        let y = toks.iter().find(|t| t.kind == TokKind::Ident("y".into()));
+        assert_eq!(y.unwrap().line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, _) = lex("/* a /* b */ c */ z");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Ident("z".into()));
+    }
+}

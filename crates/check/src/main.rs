@@ -1,0 +1,64 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! flumen-check [--root <dir>] [--deny]
+//! ```
+//!
+//! Prints one line per finding (`file:line: [lint] message`). With
+//! `--deny`, any finding makes the process exit 1 — the mode CI runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: flumen-check [--root <dir>] [--deny]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let diags = match flumen_check::check_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("flumen-check: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "flumen-check: {} finding{}{}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            if deny { " (denied)" } else { "" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

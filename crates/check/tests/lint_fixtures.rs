@@ -1,0 +1,270 @@
+//! Fixture tests for every lint: one firing case, one clean case, and one
+//! allow-comment case each, driven through [`flumen_check::check_source`]
+//! exactly as the workspace walker drives real files.
+
+use flumen_check::{check_source, CheckConfig, Diagnostic, Lint};
+
+fn cfg() -> CheckConfig {
+    let mut cfg = CheckConfig::flumen();
+    cfg.trace_registry = vec!["pkt".into(), "reconfig".into()];
+    cfg
+}
+
+fn lints_of(diags: &[Diagnostic]) -> Vec<Lint> {
+    diags.iter().map(|d| d.lint).collect()
+}
+
+// ---------------------------------------------------------------- no-panic-hot-path
+
+#[test]
+fn panic_in_hot_path_fires() {
+    let src = r#"
+        fn step(&mut self) {
+            let pkt = self.queue.pop_front().unwrap();
+            let cfg = build().expect("valid");
+            panic!("boom");
+            unreachable!();
+        }
+    "#;
+    let diags = check_source("noc::routed", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::NoPanicHotPath; 4], "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn panic_outside_hot_path_is_fine() {
+    let src = "fn f() { x.unwrap(); panic!(); }";
+    assert!(check_source("workloads::gemm", src, &cfg()).is_empty());
+}
+
+#[test]
+fn panic_allow_comment_suppresses() {
+    let src = r#"
+        fn ring() -> Net {
+            // flumen-check: allow(no-panic-hot-path) — fixed shape, valid by construction
+            Net::new(16).expect("valid")
+        }
+    "#;
+    assert!(check_source("noc::routed", src, &cfg()).is_empty());
+}
+
+#[test]
+fn panic_allow_on_same_line_suppresses() {
+    let src = "fn f() { x.unwrap(); } // flumen-check: allow(no-panic-hot-path)";
+    assert!(check_source("noc::bus", src, &cfg()).is_empty());
+}
+
+#[test]
+fn panic_in_test_code_is_exempt() {
+    let src = r#"
+        fn prod() {}
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                build().unwrap();
+                panic!("fine in tests");
+            }
+        }
+    "#;
+    assert!(check_source("noc::crossbar", src, &cfg()).is_empty());
+}
+
+// ---------------------------------------------------------------- raw-unit-literal
+
+#[test]
+fn raw_unit_literal_fires() {
+    let src = r#"
+        const RING_LOSS_DB: f64 = 0.05;
+        fn f() {
+            let laser_mw = 1.5;
+            let x = Thing { bias_dbm: -3.0 };
+        }
+    "#;
+    let diags = check_source("photonics::loss", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::RawUnitLiteral; 3], "{diags:?}");
+}
+
+#[test]
+fn open_coded_db_conversion_fires() {
+    let src = "fn f(db: f64) -> f64 { 10f64.powf(db / 10.0) }";
+    let diags = check_source("photonics::loss", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::RawUnitLiteral], "{diags:?}");
+}
+
+#[test]
+fn unit_literal_clean_cases() {
+    // Newtype constructors, integer literals, comparisons and untagged
+    // names are all fine.
+    let src = r#"
+        fn f() {
+            let loss = Decibels::new(0.05);
+            let count_db = 3;
+            let threshold = 1.5;
+            if x_db == 0.05 { }
+        }
+    "#;
+    assert!(check_source("photonics::loss", src, &cfg()).is_empty());
+}
+
+#[test]
+fn unit_literal_exempt_in_device_tables() {
+    let src = "const RING_THROUGH_DB: f64 = 0.05;";
+    assert!(check_source("photonics::device", src, &cfg()).is_empty());
+    assert!(check_source("units::decibels", src, &cfg()).is_empty());
+}
+
+#[test]
+fn unit_literal_allow_comment_suppresses() {
+    let src = r#"
+        // flumen-check: allow(raw-unit-literal) — sentinel, not a calibrated value
+        const SENTINEL_DB: f64 = -999.0;
+    "#;
+    assert!(check_source("photonics::loss", src, &cfg()).is_empty());
+}
+
+// ---------------------------------------------------------------- no-bare-cast
+
+#[test]
+fn bare_cast_fires() {
+    let src = r#"
+        fn f(cycles: u64, warmup_cycles: u64, lat_ns: f64) {
+            let a = cycles as f64;
+            let b = warmup_cycles as u64;
+            let c = lat_ns as u64;
+        }
+    "#;
+    let diags = check_source("system::runtime", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::NoBareCast; 3], "{diags:?}");
+}
+
+#[test]
+fn bare_cast_clean_cases() {
+    // Non-time identifiers and non-u64/f64 targets don't fire.
+    let src = r#"
+        fn f(nodes: usize, cycles: u64) {
+            let a = nodes as f64;
+            let b = cycles as u32;
+        }
+    "#;
+    assert!(check_source("system::runtime", src, &cfg()).is_empty());
+}
+
+#[test]
+fn bare_cast_exempt_in_units_crate() {
+    let src = "fn f(cycles: u64) -> f64 { cycles as f64 }";
+    assert!(check_source("units::cycles", src, &cfg()).is_empty());
+}
+
+#[test]
+fn bare_cast_allow_comment_suppresses() {
+    let src = r#"
+        fn ratio(busy_cycles: u64, total_cycles: u64) -> f64 {
+            // flumen-check: allow(no-bare-cast) — dimensionless ratio, not a time
+            busy_cycles as f64 / total_cycles as f64
+        }
+    "#;
+    assert!(check_source("noc::stats", src, &cfg()).is_empty());
+}
+
+// ------------------------------------------------------- trace-category-registered
+
+#[test]
+fn unregistered_trace_name_fires() {
+    let src = r#"
+        fn f(now: u64) {
+            tracer.emit(|| TraceEvent::new(TraceCategory::Noc, "mystery_event", EventKind::Instant, now, 0));
+        }
+    "#;
+    let diags = check_source("noc::bus", src, &cfg());
+    assert_eq!(
+        lints_of(&diags),
+        vec![Lint::TraceCategoryRegistered],
+        "{diags:?}"
+    );
+    assert!(diags[0].message.contains("mystery_event"));
+}
+
+#[test]
+fn registered_trace_name_is_clean() {
+    let src = r#"
+        fn f(now: u64) {
+            tracer.emit(|| TraceEvent::new(TraceCategory::Noc, "pkt", EventKind::AsyncBegin, now, 0));
+            tracer.emit(|| TraceEvent::instant(TraceCategory::Fabric, "reconfig", now, 0));
+        }
+    "#;
+    assert!(check_source("noc::bus", src, &cfg()).is_empty());
+}
+
+#[test]
+fn dynamic_trace_name_is_not_checked() {
+    // Runtime-built names (Cow::Owned job labels in the sweep engine) are
+    // not string literals in the second argument, so the lint stays quiet.
+    let src = r#"
+        fn f(label: &str, now: u64) {
+            tracer.emit(|| TraceEvent::instant(TraceCategory::Sweep, label, now, 0));
+        }
+    "#;
+    assert!(check_source("sweep::exec", src, &cfg()).is_empty());
+}
+
+#[test]
+fn empty_registry_disables_trace_lint() {
+    let src = r#"fn f() { TraceEvent::new(TraceCategory::Noc, "mystery", k, 0, 0); }"#;
+    let mut c = cfg();
+    c.trace_registry.clear();
+    assert!(check_source("noc::bus", src, &c).is_empty());
+}
+
+#[test]
+fn trace_allow_comment_suppresses() {
+    let src = r#"
+        fn f(now: u64) {
+            // flumen-check: allow(trace-category-registered) — experimental probe
+            tracer.emit(|| TraceEvent::instant(TraceCategory::Noc, "probe_x", now, 0));
+        }
+    "#;
+    assert!(check_source("noc::bus", src, &cfg()).is_empty());
+}
+
+// ---------------------------------------------------------------- allow directives
+
+#[test]
+fn unknown_lint_in_allow_is_reported() {
+    let src = "// flumen-check: allow(no-such-lint)\nfn f() {}";
+    let diags = check_source("noc::bus", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::BadAllow], "{diags:?}");
+}
+
+#[test]
+fn malformed_directive_is_reported() {
+    let src = "// flumen-check: alow(no-panic-hot-path)\nfn f() {}";
+    let diags = check_source("noc::bus", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::BadAllow], "{diags:?}");
+}
+
+#[test]
+fn comma_separated_allow_covers_both_lints() {
+    let src = r#"
+        fn f(cycles: u64) {
+            // flumen-check: allow(no-panic-hot-path, no-bare-cast)
+            let x = q.pop().unwrap() + cycles as f64;
+        }
+    "#;
+    assert!(check_source("noc::routed", src, &cfg()).is_empty());
+}
+
+#[test]
+fn allow_does_not_leak_to_later_lines() {
+    let src = r#"
+        fn f() {
+            // flumen-check: allow(no-panic-hot-path)
+            a.unwrap();
+            b.unwrap();
+        }
+    "#;
+    let diags = check_source("noc::routed", src, &cfg());
+    assert_eq!(lints_of(&diags), vec![Lint::NoPanicHotPath], "{diags:?}");
+    assert_eq!(diags[0].line, 5);
+}

@@ -1,0 +1,56 @@
+//! Self-application: the real workspace must be clean under `--deny`.
+//!
+//! This is the regression net the CI job relies on — any new panic in a
+//! hot path, raw unit literal, bare time cast or unregistered trace name
+//! anywhere in `crates/*/src` fails this test (and the `--deny` CI job)
+//! until it is fixed or carries a justified allow comment.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = flumen_check::check_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "flumen-check found {} finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn trace_registry_is_parsed_from_source() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let names = flumen_check::trace_registry(&root).expect("registry parses");
+    assert!(
+        names.iter().any(|n| n == "pkt") && names.iter().any(|n| n == "reconfig"),
+        "registry looks wrong: {names:?}"
+    );
+    assert!(names.len() >= 10, "suspiciously small: {names:?}");
+}
+
+#[test]
+fn a_planted_violation_would_be_caught() {
+    // Sanity-check that the clean result above is meaningful: the same
+    // policy applied to a deliberately bad hot-path file does fire.
+    let cfg = {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut cfg = flumen_check::CheckConfig::flumen();
+        cfg.trace_registry = flumen_check::trace_registry(&root).expect("registry parses");
+        cfg
+    };
+    let bad = r#"
+        fn step(&mut self, cycles: u64) {
+            let pkt = self.q.pop_front().unwrap();
+            let t = cycles as f64;
+            tracer.emit(|| TraceEvent::instant(TraceCategory::Noc, "not_registered", 0, 0));
+        }
+    "#;
+    let diags = flumen_check::check_source("noc::routed", bad, &cfg);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+}

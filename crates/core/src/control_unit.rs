@@ -26,6 +26,7 @@ use crate::scheduler::{admit, buffer_utilization, AdmissionOutcome, SchedulerPar
 use flumen_noc::MzimCrossbar;
 use flumen_system::{ActivityCounts, ExternalOutcome, ExternalPayload, ExternalServer};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
+use flumen_units::Cycles;
 use std::collections::VecDeque;
 
 /// Timing/shape parameters of the control unit.
@@ -257,7 +258,7 @@ impl MzimControlUnit {
             self.counts.mzim_output_samples += head.configs * head.vectors * head.n;
             self.active.push(ActivePartition {
                 tag: head.tag,
-                remaining: cost + params.arbitration_cycles as f64,
+                remaining: cost + Cycles::new(params.arbitration_cycles).count_f64(),
                 wires,
                 ports,
             });

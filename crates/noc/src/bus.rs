@@ -87,6 +87,7 @@ impl OpticalBus {
     /// The 16-node, 8-waveguide, 64-λ configuration used in the paper's
     /// comparisons (bisection ≈ 5.1 Tbps).
     pub fn optbus_16() -> Self {
+        // flumen-check: allow(no-panic-hot-path) — fixed paper shape, valid by construction
         OpticalBus::new(16, BusConfig::default()).expect("default optbus is valid")
     }
 

@@ -74,6 +74,7 @@ impl NetStats {
             return 0.0;
         }
         let busy: u64 = self.link_busy.iter().sum();
+        // flumen-check: allow(no-bare-cast) — dimensionless busy/total ratio, not a time
         busy as f64 / (self.cycles as f64 * self.link_busy.len() as f64)
     }
 
@@ -84,6 +85,7 @@ impl NetStats {
         }
         self.link_busy
             .iter()
+            // flumen-check: allow(no-bare-cast) — dimensionless busy/total ratio, not a time
             .map(|&b| b as f64 / self.cycles as f64)
             .collect()
     }
@@ -93,6 +95,7 @@ impl NetStats {
         if self.cycles == 0 {
             return 0.0;
         }
+        // flumen-check: allow(no-bare-cast) — packets per node-cycle rate, not a time
         self.delivered as f64 / (self.cycles as f64 * nodes as f64)
     }
 

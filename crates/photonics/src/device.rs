@@ -1,25 +1,11 @@
-//! Photonic and supporting electronic device parameters (paper Table 2),
-//! plus decibel helpers used throughout the loss and power models.
+//! Photonic and supporting electronic device parameters (paper Table 2).
+//!
+//! Loss and power figures are carried as [`Decibels`] / [`Milliwatts`]
+//! newtypes from `flumen-units`, so the Table 2 constants can only flow
+//! into dimensionally legal arithmetic; the old free-function dB helpers
+//! (`db_to_lin` and friends) live on the unit types now.
 
-/// Converts a linear power ratio to decibels.
-pub fn lin_to_db(ratio: f64) -> f64 {
-    10.0 * ratio.log10()
-}
-
-/// Converts decibels to a linear power ratio.
-pub fn db_to_lin(db: f64) -> f64 {
-    10f64.powf(db / 10.0)
-}
-
-/// Converts milliwatts to dBm.
-pub fn mw_to_dbm(mw: f64) -> f64 {
-    10.0 * mw.log10()
-}
-
-/// Converts dBm to milliwatts.
-pub fn dbm_to_mw(dbm: f64) -> f64 {
-    10f64.powf(dbm / 10.0)
-}
+use flumen_units::{Decibels, Milliwatts};
 
 /// Photonic and electronic device parameters.
 ///
@@ -31,54 +17,55 @@ pub fn dbm_to_mw(dbm: f64) -> f64 {
 ///
 /// ```
 /// use flumen_photonics::DeviceParams;
+/// use flumen_units::Decibels;
 /// let d = DeviceParams::paper();
-/// assert_eq!(d.mrr_thru_loss_db, 0.1);
-/// assert_eq!(d.mzi_loss_db(), 0.23 + 2.0 * 0.02);
+/// assert_eq!(d.mrr_thru_loss_db.value(), 0.1);
+/// assert_eq!(d.mzi_loss_db(), Decibels::new(0.23) + 2.0 * Decibels::new(0.02));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceParams {
     /// Straight waveguide loss (dB/cm).
-    pub waveguide_straight_db_per_cm: f64,
+    pub waveguide_straight_db_per_cm: Decibels,
     /// Bent waveguide loss (dB/cm).
-    pub waveguide_bent_db_per_cm: f64,
+    pub waveguide_bent_db_per_cm: Decibels,
     /// Y-branch splitter loss (dB).
-    pub y_branch_loss_db: f64,
+    pub y_branch_loss_db: Decibels,
     /// Microring resonator radius (µm).
     pub mrr_radius_um: f64,
     /// MRR thru-port loss (dB) — the knob swept in Fig. 12a.
-    pub mrr_thru_loss_db: f64,
+    pub mrr_thru_loss_db: Decibels,
     /// MRR drop-port loss (dB).
-    pub mrr_drop_loss_db: f64,
+    pub mrr_drop_loss_db: Decibels,
     /// MRR modulation power (mW).
-    pub mrr_modulation_mw: f64,
+    pub mrr_modulation_mw: Milliwatts,
     /// MRR driver power (mW).
-    pub mrr_driver_mw: f64,
+    pub mrr_driver_mw: Milliwatts,
     /// MRR thermal tuning power (mW per ring).
-    pub mrr_thermal_tuning_mw: f64,
+    pub mrr_thermal_tuning_mw: Milliwatts,
     /// MZI phase-shifter static power (nW) — III-V/Si MOS shifter [46].
     pub mzi_phase_shifter_nw: f64,
     /// MZI phase-shifter insertion loss (dB).
-    pub mzi_phase_shifter_loss_db: f64,
+    pub mzi_phase_shifter_loss_db: Decibels,
     /// MZI 2×2 coupler loss (dB per coupler; an MZI has two).
-    pub mzi_coupler_loss_db: f64,
+    pub mzi_coupler_loss_db: Decibels,
     /// Photodiode sensitivity (dBm, minimum detectable power; negative).
-    pub pd_sensitivity_dbm: f64,
+    pub pd_sensitivity_dbm: Decibels,
     /// Photodiode dark current (pA).
     pub pd_dark_current_pa: f64,
     /// Link extinction ratio (dB).
-    pub extinction_ratio_db: f64,
+    pub extinction_ratio_db: Decibels,
     /// Off-chip laser wall-plug efficiency (fraction).
     pub laser_owpe: f64,
     /// Laser relative intensity noise (dBc/Hz).
     pub laser_rin_dbc_hz: f64,
     /// ADC power (mW) — 5 GS/s SAR ADC [14].
-    pub adc_power_mw: f64,
+    pub adc_power_mw: Milliwatts,
     /// High-speed (input-modulation) DAC power (mW) — 14 GS/s [5].
-    pub dac_power_mw: f64,
+    pub dac_power_mw: Milliwatts,
     /// TIA power (µW).
     pub tia_power_uw: f64,
     /// Serializer + deserializer power (mW per lane).
-    pub serdes_power_mw: f64,
+    pub serdes_power_mw: Milliwatts,
 }
 
 impl DeviceParams {
@@ -90,45 +77,44 @@ impl DeviceParams {
     /// −20 dBm (10 µW), standard for germanium PDs with TIA receivers.
     pub fn paper() -> Self {
         DeviceParams {
-            waveguide_straight_db_per_cm: 1.5,
-            waveguide_bent_db_per_cm: 3.8,
-            y_branch_loss_db: 0.3,
+            waveguide_straight_db_per_cm: Decibels::new(1.5),
+            waveguide_bent_db_per_cm: Decibels::new(3.8),
+            y_branch_loss_db: Decibels::new(0.3),
             mrr_radius_um: 5.0,
-            mrr_thru_loss_db: 0.1,
-            mrr_drop_loss_db: 1.0,
-            mrr_modulation_mw: 0.5,
-            mrr_driver_mw: 1.0,
-            mrr_thermal_tuning_mw: 1.0,
+            mrr_thru_loss_db: Decibels::new(0.1),
+            mrr_drop_loss_db: Decibels::new(1.0),
+            mrr_modulation_mw: Milliwatts::new(0.5),
+            mrr_driver_mw: Milliwatts::new(1.0),
+            mrr_thermal_tuning_mw: Milliwatts::new(1.0),
             mzi_phase_shifter_nw: 1.0,
-            mzi_phase_shifter_loss_db: 0.23,
-            mzi_coupler_loss_db: 0.02,
-            pd_sensitivity_dbm: -20.0,
+            mzi_phase_shifter_loss_db: Decibels::new(0.23),
+            mzi_coupler_loss_db: Decibels::new(0.02),
+            pd_sensitivity_dbm: Decibels::new(-20.0),
             pd_dark_current_pa: 25.0,
-            extinction_ratio_db: 7.0,
+            extinction_ratio_db: Decibels::new(7.0),
             laser_owpe: 0.2,
             laser_rin_dbc_hz: -140.0,
-            adc_power_mw: 29.0,
-            dac_power_mw: 50.0,
+            adc_power_mw: Milliwatts::new(29.0),
+            dac_power_mw: Milliwatts::new(50.0),
             tia_power_uw: 295.0,
-            serdes_power_mw: 1.3,
+            serdes_power_mw: Milliwatts::new(1.3),
         }
     }
 
     /// Total insertion loss of one MZI (phase shifter + two couplers), dB.
-    pub fn mzi_loss_db(&self) -> f64 {
+    pub fn mzi_loss_db(&self) -> Decibels {
         self.mzi_phase_shifter_loss_db + 2.0 * self.mzi_coupler_loss_db
     }
 
     /// Minimum optical power required at the photodetector, mW.
-    pub fn pd_min_power_mw(&self) -> f64 {
-        dbm_to_mw(self.pd_sensitivity_dbm)
+    pub fn pd_min_power_mw(&self) -> Milliwatts {
+        Milliwatts::from_dbm(self.pd_sensitivity_dbm)
     }
 
     /// Electrical (wall-plug) laser power needed to deliver the minimum
-    /// detectable power through `loss_db` of optical loss, mW per
-    /// wavelength.
-    pub fn laser_wall_power_mw(&self, loss_db: f64) -> f64 {
-        self.pd_min_power_mw() * db_to_lin(loss_db) / self.laser_owpe
+    /// detectable power through `loss_db` of optical loss, per wavelength.
+    pub fn laser_wall_power_mw(&self, loss_db: Decibels) -> Milliwatts {
+        self.pd_min_power_mw() * loss_db.to_linear() / self.laser_owpe
     }
 }
 
@@ -143,44 +129,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn db_round_trips() {
-        for v in [0.001, 0.5, 1.0, 3.0, 100.0] {
-            assert!((db_to_lin(lin_to_db(v)) - v).abs() < 1e-12 * v);
-            assert!((dbm_to_mw(mw_to_dbm(v)) - v).abs() < 1e-12 * v);
-        }
-    }
-
-    #[test]
-    fn three_db_is_half() {
-        assert!((db_to_lin(-3.0103) - 0.5).abs() < 1e-4);
-    }
-
-    #[test]
     fn paper_values() {
         let d = DeviceParams::paper();
-        assert_eq!(d.waveguide_straight_db_per_cm, 1.5);
-        assert_eq!(d.mzi_phase_shifter_loss_db, 0.23);
+        assert_eq!(d.waveguide_straight_db_per_cm.value(), 1.5);
+        assert_eq!(d.mzi_phase_shifter_loss_db.value(), 0.23);
         assert_eq!(d.laser_owpe, 0.2);
-        assert_eq!(d.adc_power_mw, 29.0);
+        assert_eq!(d.adc_power_mw.value(), 29.0);
     }
 
     #[test]
     fn mzi_loss_combines_components() {
         let d = DeviceParams::paper();
-        assert!((d.mzi_loss_db() - 0.27).abs() < 1e-12);
+        assert!((d.mzi_loss_db().value() - 0.27).abs() < 1e-12);
     }
 
     #[test]
     fn pd_min_power_is_ten_microwatts() {
         let d = DeviceParams::paper();
-        assert!((d.pd_min_power_mw() - 0.01).abs() < 1e-12);
+        assert!((d.pd_min_power_mw().value() - 0.01).abs() < 1e-12);
     }
 
     #[test]
     fn laser_power_grows_exponentially_with_loss() {
         let d = DeviceParams::paper();
-        let p10 = d.laser_wall_power_mw(10.0);
-        let p20 = d.laser_wall_power_mw(20.0);
+        let p10 = d.laser_wall_power_mw(Decibels::new(10.0));
+        let p20 = d.laser_wall_power_mw(Decibels::new(20.0));
         assert!((p20 / p10 - 10.0).abs() < 1e-9);
     }
 

@@ -19,12 +19,13 @@
 
 use crate::analog::AnalogModel;
 use crate::clements::{apply_program_in_range, decompose, program_mesh, MeshProgram};
-use crate::device::{db_to_lin, DeviceParams};
+use crate::device::DeviceParams;
 use crate::mesh::MzimMesh;
 use crate::mzi::Attenuator;
 use crate::routing;
 use crate::{PhotonicsError, Result};
 use flumen_linalg::{spectral_scale, svd, CMat, RMat, C64};
+use flumen_units::Decibels;
 
 /// What a fabric partition is currently doing.
 #[derive(Debug, Clone, PartialEq)]
@@ -504,13 +505,13 @@ impl FlumenFabric {
     /// traverses a different number of MZIs; the attenuators bring every
     /// path down to the worst-case loss so all receivers see equal power.
     ///
-    /// Returns the worst-case path loss in dB (MZI insertion losses only).
+    /// Returns the worst-case path loss (MZI insertion losses only).
     ///
     /// # Errors
     ///
     /// [`PhotonicsError::NotRoutable`] if the fabric is not currently in a
     /// traceable cross/bar configuration.
-    pub fn equalize_losses(&mut self, dev: &DeviceParams) -> Result<f64> {
+    pub fn equalize_losses(&mut self, dev: &DeviceParams) -> Result<Decibels> {
         let mzi_db = dev.mzi_loss_db();
         let mut traces = Vec::with_capacity(self.n);
         for src in 0..self.n {
@@ -525,7 +526,7 @@ impl FlumenFabric {
         for t in &traces {
             let path_db = t.mzis_traversed as f64 * mzi_db;
             let extra_db = worst - path_db;
-            let amp = db_to_lin(-extra_db).sqrt();
+            let amp = (-extra_db).to_linear().sqrt();
             self.attens[t.mid_wire] = Attenuator::with_amplitude(amp)?;
         }
         Ok(worst)
@@ -708,9 +709,9 @@ mod tests {
             .collect();
         assert!(counts.iter().max() != counts.iter().min());
         let worst_db = f.equalize_losses(&dev).unwrap();
-        assert!(worst_db > 0.0);
+        assert!(worst_db > Decibels::ZERO);
         // With per-MZI loss applied manually, all received powers now equal.
-        let mzi_t = db_to_lin(-dev.mzi_loss_db());
+        let mzi_t = (-dev.mzi_loss_db()).to_linear();
         let mut powers = Vec::new();
         for src in 0..8 {
             let t = f.trace_route(src).unwrap();
@@ -722,7 +723,7 @@ mod tests {
         for p in &powers {
             assert!((p - first).abs() < 1e-10, "{powers:?}");
         }
-        assert!((first - db_to_lin(-worst_db)).abs() < 1e-10);
+        assert!((first - (-worst_db).to_linear()).abs() < 1e-10);
     }
 
     #[test]

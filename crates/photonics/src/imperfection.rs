@@ -21,27 +21,28 @@
 use crate::mesh::MzimMesh;
 use crate::mzi::MziPhase;
 use flumen_linalg::C64;
+use flumen_units::{Decibels, Radians};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Gaussian phase drift applied to every θ and φ in a mesh.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
-    /// RMS phase error, radians (θ and φ independently).
-    pub sigma_rad: f64,
+    /// RMS phase error (θ and φ independently).
+    pub sigma_rad: Radians,
     /// Seed for reproducible perturbation draws.
     pub seed: u64,
 }
 
 impl ThermalModel {
     /// A model with the given RMS phase error.
-    pub fn new(sigma_rad: f64, seed: u64) -> Self {
+    pub fn new(sigma_rad: Radians, seed: u64) -> Self {
         ThermalModel { sigma_rad, seed }
     }
 
     /// Perturbs every MZI phase in the mesh.
     pub fn apply(&self, mesh: &mut MzimMesh) {
-        if self.sigma_rad == 0.0 {
+        if self.sigma_rad.value() == 0.0 {
             return;
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -49,8 +50,8 @@ impl ThermalModel {
             mesh.iter().map(|s| (s.col, s.mode, s.phase)).collect();
         for (col, mode, phase) in slots {
             let p = MziPhase::new(
-                phase.theta + gaussian(&mut rng) * self.sigma_rad,
-                phase.phi + gaussian(&mut rng) * self.sigma_rad,
+                phase.theta + gaussian(&mut rng) * self.sigma_rad.value(),
+                phase.phi + gaussian(&mut rng) * self.sigma_rad.value(),
             );
             mesh.set_phase(col, mode, p).expect("slot exists");
         }
@@ -77,15 +78,15 @@ impl CouplerImbalance {
         CouplerImbalance { delta }
     }
 
-    /// Best-case extinction ratio of a cross or bar state, dB.
+    /// Best-case extinction ratio of a cross or bar state.
     ///
     /// With imbalance δ the nulled port retains power `≈ 4δ²`, so
     /// extinction is `−10·log₁₀(4δ²)`.
-    pub fn extinction_db(&self) -> f64 {
+    pub fn extinction_db(&self) -> Decibels {
         if self.delta == 0.0 {
-            f64::INFINITY
+            Decibels::new(f64::INFINITY)
         } else {
-            -10.0 * (4.0 * self.delta * self.delta).log10()
+            -Decibels::from_linear(4.0 * self.delta * self.delta)
         }
     }
 
@@ -122,15 +123,15 @@ impl CouplerImbalance {
 
 /// Measures the worst-case crosstalk of a routed (permutation) mesh: the
 /// highest power observed at any *wrong* output across all inputs,
-/// relative to the intended output's power, in dB (negative = good).
+/// relative to the intended output's power (negative dB = good).
 ///
 /// # Panics
 ///
 /// Panics if the mesh does not deliver a dominant output for some input
 /// (i.e. it is not routing a permutation at all).
-pub fn crosstalk_floor_db(mesh: &MzimMesh) -> f64 {
+pub fn crosstalk_floor_db(mesh: &MzimMesh) -> Decibels {
     let n = mesh.n();
-    let mut worst: f64 = f64::NEG_INFINITY;
+    let mut worst = Decibels::new(f64::NEG_INFINITY);
     for src in 0..n {
         let mut x = vec![C64::ZERO; n];
         x[src] = C64::ONE;
@@ -144,7 +145,10 @@ pub fn crosstalk_floor_db(mesh: &MzimMesh) -> f64 {
         assert!(*main > 0.5, "input {src} lost its signal");
         for (i, &p) in powers.iter().enumerate() {
             if i != main_idx && p > 0.0 {
-                worst = worst.max(10.0 * (p / main).log10());
+                let xt = Decibels::from_linear(p / main);
+                if xt > worst {
+                    worst = xt;
+                }
             }
         }
     }
@@ -179,7 +183,7 @@ mod tests {
     fn zero_sigma_is_identity() {
         let mut a = routed_mesh(8);
         let b = a.clone();
-        ThermalModel::new(0.0, 1).apply(&mut a);
+        ThermalModel::new(Radians::new(0.0), 1).apply(&mut a);
         assert!(a.transfer_matrix().approx_eq(&b.transfer_matrix(), 0.0));
     }
 
@@ -187,11 +191,11 @@ mod tests {
     fn thermal_drift_is_deterministic_per_seed() {
         let mut a = routed_mesh(8);
         let mut b = routed_mesh(8);
-        ThermalModel::new(0.01, 7).apply(&mut a);
-        ThermalModel::new(0.01, 7).apply(&mut b);
+        ThermalModel::new(Radians::new(0.01), 7).apply(&mut a);
+        ThermalModel::new(Radians::new(0.01), 7).apply(&mut b);
         assert!(a.transfer_matrix().approx_eq(&b.transfer_matrix(), 0.0));
         let mut c = routed_mesh(8);
-        ThermalModel::new(0.01, 8).apply(&mut c);
+        ThermalModel::new(Radians::new(0.01), 8).apply(&mut c);
         assert!(!a.transfer_matrix().approx_eq(&c.transfer_matrix(), 1e-12));
     }
 
@@ -199,9 +203,9 @@ mod tests {
     fn routing_survives_small_drift() {
         // 10 mrad RMS: signals stay on their routes with > 25 dB margin.
         let mut mesh = routed_mesh(8);
-        ThermalModel::new(0.01, 3).apply(&mut mesh);
+        ThermalModel::new(Radians::new(0.01), 3).apply(&mut mesh);
         let xt = crosstalk_floor_db(&mesh);
-        assert!(xt < -25.0, "crosstalk {xt:.1} dB");
+        assert!(xt < Decibels::new(-25.0), "crosstalk {} dB", xt.value());
     }
 
     #[test]
@@ -209,7 +213,7 @@ mod tests {
         let mut samples = Vec::new();
         for sigma in [0.005f64, 0.05, 0.2] {
             let mut mesh = routed_mesh(8);
-            ThermalModel::new(sigma, 11).apply(&mut mesh);
+            ThermalModel::new(Radians::new(sigma), 11).apply(&mut mesh);
             samples.push(crosstalk_floor_db(&mesh));
         }
         assert!(
@@ -224,7 +228,7 @@ mod tests {
         let u = random_unitary(8, &mut rng);
         let mut mesh = MzimMesh::new(8);
         program_mesh(&mut mesh, &u).unwrap();
-        ThermalModel::new(0.02, 5).apply(&mut mesh);
+        ThermalModel::new(Radians::new(0.02), 5).apply(&mut mesh);
         let err = (&mesh.transfer_matrix() - &u).max_abs();
         assert!(err > 1e-6, "perturbation must be visible");
         assert!(
@@ -237,9 +241,12 @@ mod tests {
     fn extinction_ratio_formula() {
         let c = CouplerImbalance::new(0.05);
         // 4·0.05² = 0.01 → 20 dB.
-        assert!((c.extinction_db() - 20.0).abs() < 1e-9);
+        assert!((c.extinction_db().value() - 20.0).abs() < 1e-9);
         assert!((c.leakage() - 0.01).abs() < 1e-12);
-        assert_eq!(CouplerImbalance::new(0.0).extinction_db(), f64::INFINITY);
+        assert_eq!(
+            CouplerImbalance::new(0.0).extinction_db().value(),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -248,7 +255,11 @@ mod tests {
         CouplerImbalance::new(0.05).apply(&mut mesh);
         let xt = crosstalk_floor_db(&mesh);
         // Each stage leaks −20 dB; the floor must be near that order.
-        assert!(xt > -30.0 && xt < -10.0, "{xt:.1} dB");
+        assert!(
+            xt.value() > -30.0 && xt.value() < -10.0,
+            "{} dB",
+            xt.value()
+        );
     }
 
     #[test]

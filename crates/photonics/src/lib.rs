@@ -26,7 +26,7 @@ pub mod routing;
 mod svd_circuit;
 
 pub use analog::AnalogModel;
-pub use device::{db_to_lin, dbm_to_mw, lin_to_db, mw_to_dbm, DeviceParams};
+pub use device::DeviceParams;
 pub use error::{PhotonicsError, Result};
 pub use fabric::{FabricTrace, FlumenFabric, Partition, PartitionConfig, PartitionRole};
 pub use imperfection::{crosstalk_floor_db, CouplerImbalance, ThermalModel};

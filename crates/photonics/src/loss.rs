@@ -17,6 +17,7 @@
 //!   ∝ `k/2 + 2p` — the `k·p` product term never appears.
 
 use crate::device::DeviceParams;
+use flumen_units::{Decibels, Milliwatts};
 
 /// Fixed waveguide length charged to an OptBus worst-case path, cm.
 /// Chosen so the 16-node / 32-λ / 0.1 dB operating point lands at the
@@ -25,20 +26,20 @@ const OPTBUS_WG_CM: f64 = 1.0;
 /// Fixed waveguide length charged to a Flumen worst-case path, cm.
 const FLUMEN_WG_CM: f64 = 0.32;
 
-/// Worst-case path loss of a `k`-node optical bus carrying `p` wavelengths,
-/// in dB.
+/// Worst-case path loss of a `k`-node optical bus carrying `p` wavelengths.
 ///
 /// # Examples
 ///
 /// ```
 /// use flumen_photonics::{loss, DeviceParams};
+/// use flumen_units::Decibels;
 /// let d = DeviceParams::paper();
 /// // Loss grows with the k·p product.
 /// let l16 = loss::optbus_worst_loss_db(16, 16, &d);
 /// let l32 = loss::optbus_worst_loss_db(16, 32, &d);
-/// assert!(l32 > l16 + 10.0);
+/// assert!(l32 > l16 + Decibels::new(10.0));
 /// ```
-pub fn optbus_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+pub fn optbus_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> Decibels {
     let mrr_passes = (k as f64 / 2.0) * p as f64;
     mrr_passes * dev.mrr_thru_loss_db
         + dev.mrr_drop_loss_db
@@ -46,9 +47,9 @@ pub fn optbus_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
 }
 
 /// Worst-case path loss of a `k`-endpoint Flumen MZIM fabric carrying `p`
-/// wavelengths, in dB: `k/2` mesh MZIs (plus the attenuator-column MZI) and
-/// `2p` endpoint MRR thru passes.
-pub fn flumen_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+/// wavelengths: `k/2` mesh MZIs (plus the attenuator-column MZI) and `2p`
+/// endpoint MRR thru passes.
+pub fn flumen_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> Decibels {
     let mzi_passes = k as f64 / 2.0 + 1.0; // +1: the attenuator column
     mzi_passes * dev.mzi_loss_db()
         + 2.0 * p as f64 * dev.mrr_thru_loss_db
@@ -56,22 +57,22 @@ pub fn flumen_worst_loss_db(k: usize, p: usize, dev: &DeviceParams) -> f64 {
         + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
 }
 
-/// Electrical laser power (mW, per wavelength) needed by a `k`-node OptBus
-/// with `p` wavelengths.
-pub fn optbus_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+/// Electrical laser power (per wavelength) needed by a `k`-node OptBus with
+/// `p` wavelengths.
+pub fn optbus_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> Milliwatts {
     dev.laser_wall_power_mw(optbus_worst_loss_db(k, p, dev))
 }
 
-/// Electrical laser power (mW, per wavelength) needed by a `k`-endpoint
-/// Flumen fabric with `p` wavelengths.
-pub fn flumen_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> f64 {
+/// Electrical laser power (per wavelength) needed by a `k`-endpoint Flumen
+/// fabric with `p` wavelengths.
+pub fn flumen_laser_power_mw(k: usize, p: usize, dev: &DeviceParams) -> Milliwatts {
     dev.laser_wall_power_mw(flumen_worst_loss_db(k, p, dev))
 }
 
-/// Worst-case loss (dB) through an `n`-input compute partition: the signal
+/// Worst-case loss through an `n`-input compute partition: the signal
 /// traverses the full SVD circuit depth — `n` mesh columns per unitary
 /// section plus the attenuator column.
-pub fn compute_path_loss_db(n: usize, dev: &DeviceParams) -> f64 {
+pub fn compute_path_loss_db(n: usize, dev: &DeviceParams) -> Decibels {
     (2.0 * n as f64 + 1.0) * dev.mzi_loss_db() + FLUMEN_WG_CM * dev.waveguide_straight_db_per_cm
 }
 
@@ -86,8 +87,8 @@ mod tests {
         let double_k = optbus_worst_loss_db(32, 16, &d);
         let double_p = optbus_worst_loss_db(16, 32, &d);
         // Doubling either k or p adds the same MRR loss.
-        assert!((double_k - base - 12.8).abs() < 1e-9);
-        assert!((double_p - base - 12.8).abs() < 1e-9);
+        assert!(((double_k - base).value() - 12.8).abs() < 1e-9);
+        assert!(((double_p - base).value() - 12.8).abs() < 1e-9);
     }
 
     #[test]
@@ -97,8 +98,8 @@ mod tests {
         let double_k = flumen_worst_loss_db(32, 16, &d);
         let double_p = flumen_worst_loss_db(16, 32, &d);
         // Doubling k adds 8 MZI passes (~2.2 dB); doubling p adds 3.2 dB.
-        assert!((double_k - base - 8.0 * d.mzi_loss_db()).abs() < 1e-9);
-        assert!((double_p - base - 3.2).abs() < 1e-9);
+        assert!((double_k - base - 8.0 * d.mzi_loss_db()).value().abs() < 1e-9);
+        assert!(((double_p - base).value() - 3.2).abs() < 1e-9);
     }
 
     #[test]
@@ -107,8 +108,8 @@ mod tests {
         // power is 32.3 mW for OptBus and only 429.6 µW for the Flumen
         // interconnect" — a 75× reduction.
         let d = DeviceParams::paper();
-        let ob = optbus_laser_power_mw(16, 32, &d);
-        let fl = flumen_laser_power_mw(16, 32, &d);
+        let ob = optbus_laser_power_mw(16, 32, &d).value();
+        let fl = flumen_laser_power_mw(16, 32, &d).value();
         assert!(
             (ob - 32.3).abs() / 32.3 < 0.10,
             "OptBus {ob:.2} mW, expected ≈32.3"
@@ -129,9 +130,9 @@ mod tests {
         // Fig. 12a: OptBus laser power explodes with MRR thru loss, Flumen
         // grows gently.
         let mut lo = DeviceParams::paper();
-        lo.mrr_thru_loss_db = 0.01;
+        lo.mrr_thru_loss_db = Decibels::new(0.01);
         let mut hi = DeviceParams::paper();
-        hi.mrr_thru_loss_db = 0.05;
+        hi.mrr_thru_loss_db = Decibels::new(0.05);
         let ob_growth = optbus_laser_power_mw(16, 32, &hi) / optbus_laser_power_mw(16, 32, &lo);
         let fl_growth = flumen_laser_power_mw(16, 32, &hi) / flumen_laser_power_mw(16, 32, &lo);
         // 0.04 dB × 256 MRR passes ≈ 10.2 dB extra for the bus vs
@@ -145,6 +146,6 @@ mod tests {
     fn compute_loss_grows_with_partition_size() {
         let d = DeviceParams::paper();
         assert!(compute_path_loss_db(8, &d) > compute_path_loss_db(4, &d));
-        assert!(compute_path_loss_db(4, &d) > 0.0);
+        assert!(compute_path_loss_db(4, &d) > Decibels::ZERO);
     }
 }

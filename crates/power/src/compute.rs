@@ -16,56 +16,58 @@
 //! operating points; four land within 2 % and the 8×8 points within ~2×
 //! (see EXPERIMENTS.md for the paper-vs-measured table).
 
-/// Electrical MAC energy, pJ per multiply-accumulate (derived from the
-/// paper's 554 pJ @ 16×16×8 point).
-pub const ELEC_MAC_PJ: f64 = 554.0 / 2048.0;
+use flumen_units::{Decibels, GigaHertz, Milliwatts, Nanoseconds, Picojoules};
 
-/// Static power of one MZI phase-shifter DAC, mW (fitted).
-pub const P_PHASE_DAC_MW: f64 = 0.0153;
-/// Modulation + conversion energy per analog sample, pJ (fitted).
-pub const E_CONV_PJ: f64 = 0.3;
-/// Laser scaling prefactor (receiver floor / wall-plug efficiency), mW.
-pub const LASER_BASE_MW: f64 = 0.084;
-/// Effective per-MZI insertion loss on the compute path, dB (low-loss
+/// Electrical MAC energy per multiply-accumulate (derived from the
+/// paper's 554 pJ @ 16×16×8 point).
+pub const ELEC_MAC_PJ: Picojoules = Picojoules::new(554.0 / 2048.0);
+
+/// Static power of one MZI phase-shifter DAC (fitted).
+pub const P_PHASE_DAC_MW: Milliwatts = Milliwatts::new(0.0153);
+/// Modulation + conversion energy per analog sample (fitted).
+pub const E_CONV_PJ: Picojoules = Picojoules::new(0.3);
+/// Laser scaling prefactor (receiver floor / wall-plug efficiency).
+pub const LASER_BASE_MW: Milliwatts = Milliwatts::new(0.084);
+/// Effective per-MZI insertion loss on the compute path (low-loss
 /// assumption for the fitted model).
-pub const COMPUTE_MZI_LOSS_DB: f64 = 0.202;
-/// Partition programming (switch) time, ns (Table 1).
-pub const SWITCH_NS: f64 = 6.0;
-/// Input modulation rate, GHz (Table 1).
-pub const MOD_GHZ: f64 = 5.0;
+pub const COMPUTE_MZI_LOSS_DB: Decibels = Decibels::new(0.202);
+/// Partition programming (switch) time (Table 1).
+pub const SWITCH_NS: Nanoseconds = Nanoseconds::new(6.0);
+/// Input modulation rate (Table 1).
+pub const MOD_GHZ: GigaHertz = GigaHertz::new(5.0);
 /// Wavelengths available for computation (Table 1).
 pub const COMPUTE_LAMBDAS: usize = 8;
 
 /// Energy of an `n×n` matrix times `p` input vectors on the electrical
-/// MAC unit, pJ.
-pub fn electrical_matmul_pj(n: usize, p: usize) -> f64 {
-    (n * n * p) as f64 * ELEC_MAC_PJ
+/// MAC unit.
+pub fn electrical_matmul_pj(n: usize, p: usize) -> Picojoules {
+    ELEC_MAC_PJ.for_each((n * n * p) as u64)
 }
 
-/// Fabric occupancy for one `n×n × p`-vector product, ns.
-pub fn flumen_op_time_ns(p: usize) -> f64 {
+/// Fabric occupancy for one `n×n × p`-vector product.
+pub fn flumen_op_time_ns(p: usize) -> Nanoseconds {
     let passes = p.div_ceil(COMPUTE_LAMBDAS).max(1);
-    SWITCH_NS + passes as f64 / MOD_GHZ
+    SWITCH_NS + MOD_GHZ.ns_for(passes as f64)
 }
 
 /// Laser wall-plug power per compute wavelength for an `n`-input
-/// partition, mW.
-pub fn flumen_laser_mw(n: usize) -> f64 {
+/// partition.
+pub fn flumen_laser_mw(n: usize) -> Milliwatts {
     let loss_db = (2 * n + 1) as f64 * COMPUTE_MZI_LOSS_DB;
-    LASER_BASE_MW * 10f64.powf(loss_db / 10.0)
+    LASER_BASE_MW * loss_db.to_linear()
 }
 
 /// Energy of an `n×n` matrix times `p` vectors on an `n`-input Flumen
-/// partition, pJ.
-pub fn flumen_matmul_pj(n: usize, p: usize) -> f64 {
+/// partition.
+pub fn flumen_matmul_pj(n: usize, p: usize) -> Picojoules {
     let t = flumen_op_time_ns(p);
     let static_pj = t * (n * n) as f64 * P_PHASE_DAC_MW;
     let per_vec_pj = n as f64 * E_CONV_PJ + t * flumen_laser_mw(n);
     static_pj + p as f64 * per_vec_pj
 }
 
-/// Energy per MAC for the Flumen fabric, pJ (Fig. 12c).
-pub fn flumen_mac_pj(n: usize, p: usize) -> f64 {
+/// Energy per MAC for the Flumen fabric (Fig. 12c).
+pub fn flumen_mac_pj(n: usize, p: usize) -> Picojoules {
     flumen_matmul_pj(n, p) / (n * n * p) as f64
 }
 
@@ -73,8 +75,8 @@ pub fn flumen_mac_pj(n: usize, p: usize) -> f64 {
 mod tests {
     use super::*;
 
-    fn rel_err(measured: f64, paper: f64) -> f64 {
-        (measured - paper).abs() / paper
+    fn rel_err(measured: Picojoules, paper: f64) -> f64 {
+        (measured.value() - paper).abs() / paper
     }
 
     #[test]
@@ -152,8 +154,8 @@ mod tests {
 
     #[test]
     fn op_time_includes_extra_passes() {
-        assert!((flumen_op_time_ns(8) - 6.2).abs() < 1e-12);
-        assert!((flumen_op_time_ns(16) - 6.4).abs() < 1e-12);
-        assert!((flumen_op_time_ns(1) - 6.2).abs() < 1e-12);
+        assert!((flumen_op_time_ns(8).value() - 6.2).abs() < 1e-12);
+        assert!((flumen_op_time_ns(16).value() - 6.4).abs() < 1e-12);
+        assert!((flumen_op_time_ns(1).value() - 6.2).abs() < 1e-12);
     }
 }

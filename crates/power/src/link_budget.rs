@@ -6,27 +6,28 @@
 //! auditable component by component.
 
 use flumen_photonics::{loss, DeviceParams};
+use flumen_units::Milliwatts;
 
-/// Per-endpoint power itemization for a WDM photonic link, mW.
+/// Per-endpoint power itemization for a WDM photonic link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkPowerBudget {
     /// Wavelengths carried.
     pub lambdas: usize,
     /// Laser wall-plug power across all wavelengths.
-    pub laser_mw: f64,
+    pub laser_mw: Milliwatts,
     /// MRR thermal tuning (modulator + demux ring per λ).
-    pub tuning_mw: f64,
+    pub tuning_mw: Milliwatts,
     /// Modulator drive + driver power.
-    pub modulation_mw: f64,
+    pub modulation_mw: Milliwatts,
     /// Receive chain: TIAs.
-    pub tia_mw: f64,
+    pub tia_mw: Milliwatts,
     /// Serializers/deserializers.
-    pub serdes_mw: f64,
+    pub serdes_mw: Milliwatts,
 }
 
 impl LinkPowerBudget {
-    /// Total per-endpoint power, mW.
-    pub fn total_mw(&self) -> f64 {
+    /// Total per-endpoint power.
+    pub fn total_mw(&self) -> Milliwatts {
         self.laser_mw + self.tuning_mw + self.modulation_mw + self.tia_mw + self.serdes_mw
     }
 }
@@ -45,7 +46,7 @@ pub fn optbus_endpoint_budget(k: usize, lambdas: usize, dev: &DeviceParams) -> L
     budget(lambdas, per_lambda_laser, dev)
 }
 
-fn budget(lambdas: usize, per_lambda_laser_mw: f64, dev: &DeviceParams) -> LinkPowerBudget {
+fn budget(lambdas: usize, per_lambda_laser_mw: Milliwatts, dev: &DeviceParams) -> LinkPowerBudget {
     let l = lambdas as f64;
     LinkPowerBudget {
         lambdas,
@@ -53,7 +54,7 @@ fn budget(lambdas: usize, per_lambda_laser_mw: f64, dev: &DeviceParams) -> LinkP
         // One modulating ring at TX and one demux ring at RX per λ.
         tuning_mw: 2.0 * l * dev.mrr_thermal_tuning_mw,
         modulation_mw: l * (dev.mrr_modulation_mw + dev.mrr_driver_mw),
-        tia_mw: l * dev.tia_power_uw / 1000.0,
+        tia_mw: Milliwatts::from_microwatts(l * dev.tia_power_uw),
         serdes_mw: l * dev.serdes_power_mw,
     }
 }
@@ -67,7 +68,7 @@ mod tests {
         let d = DeviceParams::paper();
         let b = flumen_endpoint_budget(16, 64, &d);
         let sum = b.laser_mw + b.tuning_mw + b.modulation_mw + b.tia_mw + b.serdes_mw;
-        assert!((b.total_mw() - sum).abs() < 1e-12);
+        assert!((b.total_mw() - sum).value().abs() < 1e-12);
         assert_eq!(b.lambdas, 64);
     }
 
@@ -77,7 +78,7 @@ mod tests {
         // line item on the low-loss Flumen path.
         let d = DeviceParams::paper();
         let b = flumen_endpoint_budget(16, 64, &d);
-        assert!((b.tuning_mw - 128.0).abs() < 1e-9);
+        assert!((b.tuning_mw.value() - 128.0).abs() < 1e-9);
         assert!(b.tuning_mw > b.laser_mw);
         assert!(b.tuning_mw > b.modulation_mw);
     }
@@ -90,8 +91,8 @@ mod tests {
         assert!(
             ob.laser_mw > 10.0 * fl.laser_mw,
             "{} vs {}",
-            ob.laser_mw,
-            fl.laser_mw
+            ob.laser_mw.value(),
+            fl.laser_mw.value()
         );
         // Everything else is identical hardware.
         assert_eq!(ob.tuning_mw, fl.tuning_mw);
@@ -115,7 +116,7 @@ mod tests {
         // (a few watts).
         let d = DeviceParams::paper();
         let b = flumen_endpoint_budget(16, 64, &d);
-        let system_w = 16.0 * b.total_mw() / 1000.0;
+        let system_w = (16.0 * b.total_mw()).to_watts();
         assert!(system_w > 1.0 && system_w < 10.0, "{system_w} W");
     }
 }

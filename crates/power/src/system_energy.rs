@@ -9,6 +9,7 @@
 use crate::compute;
 use flumen_noc::NetStats;
 use flumen_system::ActivityCounts;
+use flumen_units::{Cycles, GigaHertz, Picojoules};
 
 /// Which NoP the system ran on (decides the network energy model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,27 +32,27 @@ pub enum NopKind {
 /// Per-event and static energy parameters, 7 nm-scaled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyParams {
-    /// Core energy per operation, pJ (OoO pipeline overhead included).
-    pub core_op_pj: f64,
-    /// Core static energy per busy cycle, pJ.
-    pub core_busy_pj: f64,
-    /// L1 (I or D) access energy, pJ.
-    pub l1_pj: f64,
-    /// L2 access energy, pJ.
-    pub l2_pj: f64,
-    /// L3 slice access energy, pJ.
-    pub l3_pj: f64,
-    /// DRAM access energy per 64 B line, pJ.
-    pub dram_pj: f64,
-    /// Electrical mesh link energy, pJ/bit/hop (Table 1, [37]).
-    pub mesh_bit_pj: f64,
+    /// Core energy per operation (OoO pipeline overhead included).
+    pub core_op_pj: Picojoules,
+    /// Core static energy per busy cycle.
+    pub core_busy_pj: Picojoules,
+    /// L1 (I or D) access energy.
+    pub l1_pj: Picojoules,
+    /// L2 access energy.
+    pub l2_pj: Picojoules,
+    /// L3 slice access energy.
+    pub l3_pj: Picojoules,
+    /// DRAM access energy per 64 B line.
+    pub dram_pj: Picojoules,
+    /// Electrical mesh link energy per bit-hop (Table 1, [37]).
+    pub mesh_bit_pj: Picojoules,
     /// Electrical ring link energy, pJ/bit/hop — ring links span several
     /// chiplet pitches on the package perimeter, and metallic link energy
     /// scales with length [1]; 2.7× the mesh pitch reproduces the §5.2
     /// ring/mesh gap.
-    pub ring_bit_pj: f64,
-    /// Photonic link energy, pJ/bit (Table 1, 64 λ).
-    pub photonic_bit_pj: f64,
+    pub ring_bit_pj: Picojoules,
+    /// Photonic link energy per bit (Table 1, 64 λ).
+    pub photonic_bit_pj: Picojoules,
     /// Static power per electrical router, W.
     pub elec_router_static_w: f64,
     /// OptBus static power, W: endpoint MRR thermal tuning plus the
@@ -77,15 +78,15 @@ impl EnergyParams {
     /// Default 7 nm calibration.
     pub fn paper_7nm() -> Self {
         EnergyParams {
-            core_op_pj: 6.0,
-            core_busy_pj: 10.0,
-            l1_pj: 0.6,
-            l2_pj: 2.5,
-            l3_pj: 20.0,
-            dram_pj: 6_000.0,
-            mesh_bit_pj: 1.17,
-            ring_bit_pj: 1.17 * 2.7,
-            photonic_bit_pj: 0.703,
+            core_op_pj: Picojoules::new(6.0),
+            core_busy_pj: Picojoules::new(10.0),
+            l1_pj: Picojoules::new(0.6),
+            l2_pj: Picojoules::new(2.5),
+            l3_pj: Picojoules::new(20.0),
+            dram_pj: Picojoules::new(6_000.0),
+            mesh_bit_pj: Picojoules::new(1.17),
+            ring_bit_pj: Picojoules::new(1.17 * 2.7),
+            photonic_bit_pj: Picojoules::new(0.703),
             elec_router_static_w: 0.02,
             optbus_static_w: 0.5,
             mzim_comm_static_w: 0.3,
@@ -152,17 +153,16 @@ pub fn system_energy(
     nop: NopKind,
     params: &EnergyParams,
 ) -> EnergyBreakdown {
-    let pj = 1e-12;
     let mut b = EnergyBreakdown {
-        core_j: (counts.core_ops as f64 * params.core_op_pj
-            + counts.core_busy_cycles as f64 * params.core_busy_pj)
-            * pj
+        core_j: (params.core_op_pj.for_each(counts.core_ops)
+            + params.core_busy_pj.for_each(counts.core_busy_cycles))
+        .to_joules()
             + cores as f64 * params.core_leak_w_per_core * seconds,
-        l1i_j: counts.l1i_accesses as f64 * params.l1_pj * pj,
-        l1d_j: counts.l1d_accesses as f64 * params.l1_pj * pj,
-        l2_j: counts.l2_accesses as f64 * params.l2_pj * pj,
-        l3_j: counts.l3_accesses as f64 * params.l3_pj * pj + params.l3_leak_w * seconds,
-        dram_j: counts.dram_accesses as f64 * params.dram_pj * pj
+        l1i_j: params.l1_pj.for_each(counts.l1i_accesses).to_joules(),
+        l1d_j: params.l1_pj.for_each(counts.l1d_accesses).to_joules(),
+        l2_j: params.l2_pj.for_each(counts.l2_accesses).to_joules(),
+        l3_j: params.l3_pj.for_each(counts.l3_accesses).to_joules() + params.l3_leak_w * seconds,
+        dram_j: params.dram_pj.for_each(counts.dram_accesses).to_joules()
             + params.dram_background_w * seconds,
         nop_j: 0.0,
         mzim_j: 0.0,
@@ -176,25 +176,26 @@ pub fn system_energy(
 
 /// Network energy alone (used for the §5.2 synthetic comparison, E6).
 pub fn network_energy_j(net: &NetStats, seconds: f64, nop: NopKind, params: &EnergyParams) -> f64 {
-    let pj = 1e-12;
     let routers = net.link_busy.len().max(1) as f64;
     match nop {
         NopKind::Ring => {
-            net.bit_hops as f64 * params.ring_bit_pj * pj
+            params.ring_bit_pj.for_each(net.bit_hops).to_joules()
                 + params.elec_router_static_w * 16.0 * seconds
         }
         NopKind::Mesh => {
-            net.bit_hops as f64 * params.mesh_bit_pj * pj
+            params.mesh_bit_pj.for_each(net.bit_hops).to_joules()
                 + params.elec_router_static_w * 16.0 * seconds
         }
         NopKind::OptBus => {
-            net.bit_hops as f64 * params.photonic_bit_pj * pj + params.optbus_static_w * seconds
+            params.photonic_bit_pj.for_each(net.bit_hops).to_joules()
+                + params.optbus_static_w * seconds
         }
         NopKind::MzimCommOnly => {
-            net.bit_hops as f64 * params.photonic_bit_pj * pj + params.mzim_comm_static_w * seconds
+            params.photonic_bit_pj.for_each(net.bit_hops).to_joules()
+                + params.mzim_comm_static_w * seconds
         }
         NopKind::FlumenComm | NopKind::FlumenAccel => {
-            net.bit_hops as f64 * params.photonic_bit_pj * pj
+            params.photonic_bit_pj.for_each(net.bit_hops).to_joules()
                 + (params.mzim_comm_static_w + params.flumen_dacadc_static_w) * seconds
         }
     }
@@ -213,13 +214,15 @@ pub fn mzim_compute_energy_j(counts: &ActivityCounts) -> f64 {
         .round()
         .max(2.0);
     let per_sample_pj = compute::E_CONV_PJ;
-    let sample_j =
-        (counts.mzim_input_samples + counts.mzim_output_samples) as f64 * per_sample_pj * 1e-12;
-    // Static: phase DACs + laser over the cycles partitions were active.
-    let active_ns = counts.mzim_active_cycles as f64 / 2.5; // 2.5 GHz core clock
+    let sample_j = per_sample_pj
+        .for_each(counts.mzim_input_samples + counts.mzim_output_samples)
+        .to_joules();
+    // Static: phase DACs + laser over the cycles partitions were active
+    // (the 2.5 GHz core clock).
+    let active_ns = Cycles::new(counts.mzim_active_cycles).at(GigaHertz::new(2.5));
     let static_mw = n * n * compute::P_PHASE_DAC_MW
         + compute::COMPUTE_LAMBDAS as f64 * compute::flumen_laser_mw(n as usize);
-    let static_j = active_ns * static_mw * 1e-12; // mW·ns = pJ
+    let static_j = (active_ns * static_mw).to_joules();
     sample_j + static_j
 }
 

@@ -18,6 +18,7 @@ use flumen_noc::traffic::TrafficPattern;
 use flumen_noc::NetStats;
 use flumen_power::{EnergyBreakdown, EnergyParams};
 use flumen_system::{ActivityCounts, CacheConfig, SystemConfig};
+use flumen_units::Picojoules;
 use flumen_workloads::taskgen::TaskGenConfig;
 
 /// Implements `ToJson`/`FromJson` for a plain struct, field by field.
@@ -41,6 +42,22 @@ macro_rules! json_struct {
             }
         }
     };
+}
+
+// Unit newtypes serialize as their raw numeric value: the canonical JSON
+// text (and therefore every content-addressed job hash) is identical to the
+// pre-`flumen-units` encoding. The unit lives in the *key* name (`_pj`
+// suffix), not the value.
+impl ToJson for Picojoules {
+    fn to_json(&self) -> Json {
+        Json::Num(self.value())
+    }
+}
+
+impl FromJson for Picojoules {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Picojoules::new(j.as_f64()?))
+    }
 }
 
 impl ToJson for SystemTopology {

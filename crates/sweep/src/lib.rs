@@ -31,6 +31,7 @@ pub mod exec;
 pub mod hash;
 pub mod job;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 
 pub use cache::{CacheEntry, ResultCache};

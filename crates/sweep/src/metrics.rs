@@ -1,0 +1,109 @@
+//! Unit-suffixed headline metrics for sweep results.
+//!
+//! Result files should say what unit a number is in, and the unit in the
+//! *key* must not be allowed to drift from the unit of the *value*. Every
+//! key here is therefore assembled at runtime from the `flumen-units`
+//! `SUFFIX` constants — `latency_ns`, `energy_pj`, `loss_db` — so renaming
+//! a unit (or expressing a metric in a different one) changes the
+//! serialized key in the same commit, and `flumen-check`'s
+//! `raw-unit-literal` lint keeps the values flowing in through the typed
+//! constructors.
+
+use crate::json::Json;
+use flumen::{FullRunResult, RuntimeConfig, SystemTopology};
+use flumen_photonics::{loss, DeviceParams};
+use flumen_units::{Decibels, GigaHertz, Nanoseconds, Picojoules};
+
+/// Key for the mean delivered-packet latency: `latency_ns`.
+pub fn latency_key() -> String {
+    format!("latency_{}", Nanoseconds::SUFFIX)
+}
+
+/// Key for the total run energy: `energy_pj`.
+pub fn energy_key() -> String {
+    format!("energy_{}", Picojoules::SUFFIX)
+}
+
+/// Key for the worst-case optical path loss: `loss_db`.
+pub fn loss_key() -> String {
+    format!("loss_{}", Decibels::SUFFIX)
+}
+
+/// Headline metrics of one full-system run as a JSON object with
+/// unit-suffixed keys:
+///
+/// * [`latency_key`] — mean delivered-packet latency converted to
+///   nanoseconds at the configured core clock; `null` when the run
+///   delivered no packets.
+/// * [`energy_key`] — total run energy in picojoules.
+/// * [`loss_key`] — worst-case optical path loss of the topology's
+///   photonic interconnect (paper §5.2) at the configured chiplet and
+///   compute-wavelength counts, using the paper device parameters;
+///   `null` for the electrical topologies.
+pub fn unit_metrics(r: &FullRunResult, cfg: &RuntimeConfig) -> Json {
+    let freq = GigaHertz::new(cfg.system.freq_ghz);
+    let latency = match r.avg_packet_latency() {
+        Some(cycles) => Json::Num(freq.ns_for(cycles).value()),
+        None => Json::Null,
+    };
+    let energy = Json::Num(Picojoules::from_joules(r.energy.total_j()).value());
+    let dev = DeviceParams::paper();
+    let k = cfg.system.chiplets;
+    let p = cfg.control.compute_lambdas;
+    let loss = match r.topology {
+        SystemTopology::Ring | SystemTopology::Mesh => Json::Null,
+        SystemTopology::OptBus => Json::Num(loss::optbus_worst_loss_db(k, p, &dev).value()),
+        SystemTopology::FlumenI | SystemTopology::FlumenA => {
+            Json::Num(loss::flumen_worst_loss_db(k, p, &dev).value())
+        }
+    };
+    Json::Obj(
+        [
+            (latency_key(), latency),
+            (energy_key(), energy),
+            (loss_key(), loss),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_built_from_unit_suffixes() {
+        assert_eq!(latency_key(), "latency_ns");
+        assert_eq!(energy_key(), "energy_pj");
+        assert_eq!(loss_key(), "loss_db");
+    }
+
+    #[test]
+    fn metrics_cover_all_topologies() {
+        let cfg = RuntimeConfig::paper();
+        let bench = crate::job::BenchSpec {
+            kind: crate::job::BenchKind::Rotation3d,
+            size: crate::job::BenchSize::Small,
+        }
+        .instantiate();
+        for topology in SystemTopology::all() {
+            let r = flumen::run_benchmark(bench.as_ref(), topology, &cfg);
+            let m = unit_metrics(&r, &cfg);
+            let energy = m.get(&energy_key()).unwrap().as_f64().unwrap();
+            assert!(energy > 0.0, "{topology:?}: energy must be positive");
+            let loss = m.get(&loss_key()).unwrap();
+            match topology {
+                SystemTopology::Ring | SystemTopology::Mesh => {
+                    assert_eq!(loss, &Json::Null, "{topology:?}: electrical has no loss")
+                }
+                _ => assert!(loss.as_f64().unwrap() > 0.0, "{topology:?}: loss expected"),
+            }
+            if let Some(cyc) = r.avg_packet_latency() {
+                let ns = m.get(&latency_key()).unwrap().as_f64().unwrap();
+                // 2.5 GHz clock: one cycle is 0.4 ns.
+                assert!((ns - cyc / cfg.system.freq_ghz).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -5,28 +5,37 @@
 //! directory records how its contents were produced and a re-run can be
 //! audited for cache effectiveness.
 
-use crate::exec::SweepReport;
+use crate::exec::{SweepPlan, SweepReport};
+use crate::job::JobSpec;
 use crate::json::{Json, ToJson};
+use crate::metrics::unit_metrics;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
 /// Writes one JSON object per line: `{label, hash, cached, wall_ms,
-/// result}` for every job in the report, in plan order.
+/// result}` for every job in the report, in plan order. Full-system runs
+/// additionally carry a `metrics` object with unit-suffixed headline
+/// keys (`latency_ns`, `energy_pj`, `loss_db` — see
+/// [`crate::metrics::unit_metrics`]).
 ///
 /// # Panics
 ///
 /// Panics on I/O failure.
-pub fn write_results_jsonl(path: &Path, report: &SweepReport) {
+pub fn write_results_jsonl(path: &Path, plan: &SweepPlan, report: &SweepReport) {
     let mut out = String::new();
-    for (rec, result) in report.records.iter().zip(&report.results) {
-        let line = Json::obj([
+    for ((spec, rec), result) in plan.jobs().iter().zip(&report.records).zip(&report.results) {
+        let mut fields = vec![
             ("label", Json::Str(rec.label.clone())),
             ("hash", Json::Str(rec.hash.clone())),
             ("cached", rec.cached.to_json()),
             ("wall_ms", rec.wall_ms.to_json()),
             ("result", result.to_json()),
-        ]);
+        ];
+        if let JobSpec::FullRun { cfg, .. } = spec {
+            fields.push(("metrics", unit_metrics(result.full_run(), cfg)));
+        }
+        let line = Json::obj(fields);
         out.push_str(&line.to_canonical());
         out.push('\n');
     }
@@ -139,7 +148,7 @@ mod tests {
         let report = run_plan(&plan, &SweepOptions::serial_in(base.join("cache")));
 
         let jsonl = base.join("out.jsonl");
-        write_results_jsonl(&jsonl, &report);
+        write_results_jsonl(&jsonl, &plan, &report);
         let text = fs::read_to_string(&jsonl).unwrap();
         assert_eq!(text.lines().count(), 2);
         for (line, rec) in text.lines().zip(&report.records) {

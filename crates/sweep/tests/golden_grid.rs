@@ -49,6 +49,7 @@ type Row = flumen_sweep::Json;
 
 fn snapshot_rows() -> Vec<Row> {
     use flumen_sweep::ToJson;
+    let cfg = flumen::RuntimeConfig::paper();
     let dir = std::env::temp_dir().join(format!("flumen-golden-grid-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let report = run_plan(&reduced_grid(), &SweepOptions::serial_in(dir.clone()));
@@ -57,7 +58,7 @@ fn snapshot_rows() -> Vec<Row> {
         .iter()
         .map(|res| {
             let r = res.full_run();
-            flumen_sweep::Json::obj([
+            let mut row = flumen_sweep::Json::obj([
                 ("bench", flumen_sweep::Json::Str(r.benchmark.clone())),
                 (
                     "topology",
@@ -69,7 +70,15 @@ fn snapshot_rows() -> Vec<Row> {
                 ("delivered", r.net_stats.delivered.to_json()),
                 ("seconds", r.seconds.to_json()),
                 ("energy_j", r.energy.total_j().to_json()),
-            ])
+            ]);
+            // Unit-suffixed headline keys (latency_ns, energy_pj, loss_db),
+            // key names sourced from the flumen-units SUFFIX constants.
+            if let (flumen_sweep::Json::Obj(map), flumen_sweep::Json::Obj(m)) =
+                (&mut row, flumen_sweep::metrics::unit_metrics(r, &cfg))
+            {
+                map.extend(m);
+            }
+            row
         })
         .collect();
     let _ = std::fs::remove_dir_all(&dir);
@@ -131,10 +140,21 @@ fn reduced_grid_matches_golden_snapshot() {
             );
         }
         // Derived floats get a tolerance so pure re-association in the
-        // energy/time arithmetic does not count as a regression.
-        for key in ["seconds", "energy_j"] {
-            let g = got.get(key).unwrap().as_f64().unwrap();
-            let w = want.get(key).unwrap().as_f64().unwrap();
+        // energy/time arithmetic does not count as a regression. The
+        // unit-suffixed keys are built from the flumen-units SUFFIX
+        // constants; `loss_db` is null on the electrical topologies.
+        let latency_ns = flumen_sweep::metrics::latency_key();
+        let energy_pj = flumen_sweep::metrics::energy_key();
+        let loss_db = flumen_sweep::metrics::loss_key();
+        for key in ["seconds", "energy_j", &latency_ns, &energy_pj, &loss_db] {
+            let got_v = got.get(key).unwrap();
+            let want_v = want.get(key).unwrap();
+            if matches!(want_v, flumen_sweep::Json::Null) {
+                assert_eq!(got_v, want_v, "{label}: {key} became non-null");
+                continue;
+            }
+            let g = got_v.as_f64().unwrap();
+            let w = want_v.as_f64().unwrap();
             assert!(
                 rel_close(g, w, 1e-9),
                 "{label}: {key} drifted from golden: {g} vs {w}"

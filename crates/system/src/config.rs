@@ -1,5 +1,7 @@
 //! System-level configuration (paper Table 1).
 
+use flumen_units::{Cycles, GigaHertz};
+
 /// Geometry and latency parameters of one cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -104,9 +106,9 @@ impl SystemConfig {
         ((addr >> 6) % self.chiplets as u64) as usize
     }
 
-    /// Converts cycles to seconds.
+    /// Converts cycles to seconds at the configured core clock.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
-        cycles as f64 / (self.freq_ghz * 1e9)
+        Cycles::new(cycles).to_seconds(GigaHertz::new(self.freq_ghz))
     }
 }
 

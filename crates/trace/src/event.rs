@@ -42,6 +42,43 @@ impl TraceCategory {
     }
 }
 
+/// Every static event name the simulator emits, in one place.
+///
+/// The taxonomy's *categories* are a compiler-checked enum, but the event
+/// *names* are plain strings; this registry closes that gap. The
+/// `flumen-check` `trace-category-registered` lint parses this array and
+/// rejects any production emit site whose string-literal name is missing
+/// from it, so adding an event means declaring it here first. Dynamic
+/// names (the sweep executor's owned job labels) are exempt — only
+/// `&'static str` literals at emit sites are checked.
+///
+/// Keep the list sorted; [`registered`] relies on it for binary search.
+pub const REGISTERED_EVENT_NAMES: &[&str] = &[
+    "admit",
+    "barrier_release",
+    "cache_hit",
+    "defer",
+    "l2_miss",
+    "l3_miss",
+    "link_busy",
+    "link_util",
+    "offload",
+    "offload_done",
+    "partition",
+    "pkt",
+    "reconfig",
+    "reject",
+    "request",
+    "timeout",
+    "wire_release",
+    "wire_reserve",
+];
+
+/// Whether `name` is a declared simulator event name.
+pub fn registered(name: &str) -> bool {
+    REGISTERED_EVENT_NAMES.binary_search(&name).is_ok()
+}
+
 /// What shape of event this is, mapped onto Chrome-trace phases.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -182,5 +219,15 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             TraceCategory::all().iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn registry_is_sorted_and_distinct() {
+        let mut sorted = REGISTERED_EVENT_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, REGISTERED_EVENT_NAMES, "keep the registry sorted");
+        assert!(registered("pkt"));
+        assert!(!registered("not_an_event"));
     }
 }

@@ -45,7 +45,7 @@ mod metrics;
 mod recorder;
 mod tracer;
 
-pub use event::{EventKind, TraceCategory, TraceEvent};
+pub use event::{registered, EventKind, TraceCategory, TraceEvent, REGISTERED_EVENT_NAMES};
 pub use metrics::{pow2_bucket, pow2_percentile, Histogram, MetricsRegistry};
 pub use recorder::RecordingTracer;
 pub use tracer::{TraceHandle, Tracer};

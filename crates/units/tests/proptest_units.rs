@@ -1,0 +1,69 @@
+//! Property tests for the dB ↔ linear conversions.
+//!
+//! Table 2 of the paper books per-device losses from 0.02 dB (MZI coupler)
+//! up to tens of dB of accumulated path loss, and the link-budget maths
+//! swings through the corresponding linear ratios; the round-trip through
+//! `Decibels::to_linear` / `Decibels::from_linear` must hold to 1e-12
+//! relative error across that whole range or the equalization and laser
+//! sizing drift.
+
+use flumen_units::{Decibels, Milliwatts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// dB → linear → dB is the identity over the Table 2 loss range
+    /// (0.02 dB per coupler up to ~60 dB of worst-case path loss,
+    /// including negative dB for sub-unity equalization gains).
+    #[test]
+    fn db_linear_db_round_trip(db in -60.0f64..60.0) {
+        let back = Decibels::from_linear(Decibels::new(db).to_linear());
+        prop_assert!(
+            (back.value() - db).abs() <= 1e-12 * db.abs().max(1.0),
+            "round-trip drifted: {} -> {}",
+            db,
+            back.value()
+        );
+    }
+
+    /// linear → dB → linear is the identity over the matching ratio range
+    /// (10^-6 .. 10^6, i.e. ±60 dB).
+    #[test]
+    fn linear_db_linear_round_trip(exp in -6.0f64..6.0) {
+        let ratio = 10f64.powf(exp);
+        let back = Decibels::from_linear(ratio).to_linear();
+        prop_assert!(
+            (back - ratio).abs() <= 1e-12 * ratio,
+            "round-trip drifted: {} -> {}",
+            ratio,
+            back
+        );
+    }
+
+    /// Adding decibels multiplies linear ratios (the defining law).
+    #[test]
+    fn db_addition_is_linear_multiplication(a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        let sum_lin = (Decibels::new(a) + Decibels::new(b)).to_linear();
+        let prod = Decibels::new(a).to_linear() * Decibels::new(b).to_linear();
+        prop_assert!(
+            (sum_lin - prod).abs() <= 1e-12 * prod.abs(),
+            "dB add vs linear mul: {} vs {}",
+            sum_lin,
+            prod
+        );
+    }
+
+    /// dBm ↔ mW round-trips through the named constructors to the same
+    /// tolerance (−40 dBm receiver floors up to +20 dBm laser outputs).
+    #[test]
+    fn dbm_mw_round_trip(dbm in -40.0f64..20.0) {
+        let back = Milliwatts::from_dbm(Decibels::new(dbm)).to_dbm();
+        prop_assert!(
+            (back.value() - dbm).abs() <= 1e-12 * dbm.abs().max(1.0),
+            "dBm round-trip drifted: {} -> {}",
+            dbm,
+            back.value()
+        );
+    }
+}
