@@ -1,0 +1,299 @@
+//! `bench_perf` — the performance trajectory of the photonic compute
+//! pipeline, before vs after the cache-efficiency work.
+//!
+//! Measures four layers with the vendored criterion stand-in and writes
+//! `BENCH_perf.json` (repo root, or `FLUMEN_BENCH_OUT`):
+//!
+//! * **matmul** — the seed's indexed-write k-outer kernel (reimplemented
+//!   here as `naive_matmul`) vs the production slice-based `CMat::matmul`
+//!   / `matmul_into`, with the transposed-B `matmul_blocked` alternative
+//!   recorded alongside (it loses at mesh sizes: the dot-product
+//!   accumulator serializes the FP adds).
+//! * **decompose** — an embed-materializing Clements baseline (every 2×2
+//!   Givens rotation built as an `N×N` matrix and applied with the naive
+//!   kernel, the seed's cost profile) vs the in-place `clements::decompose`.
+//! * **fabric program** — `FlumenFabric::set_partitions` cold (cache
+//!   cleared: SVD + two Clements decompositions per call) vs a program
+//!   cache hit (stored phase lists replayed).
+//! * **offload taskgen** — per-core task-queue generation in offload mode
+//!   (now content-addresses every weight strip) plus a reduced Fig. 14
+//!   Mesh-vs-Flumen-A run for an end-to-end wall-clock anchor.
+//!
+//! `--quick` runs one sample per benchmark and the smallest fig14 subset
+//! (the CI smoke configuration); a full run takes a few minutes.
+
+use criterion::{BenchResult, BenchmarkId, Criterion};
+use flumen::SystemTopology;
+use flumen_bench::{quick_mode, speedup};
+use flumen_linalg::{random_unitary, CMat, RMat, C64};
+use flumen_photonics::clements;
+use flumen_photonics::{FlumenFabric, PartitionConfig};
+use flumen_sweep::{BenchSize, BenchSpec, JobSpec};
+use flumen_system::SystemConfig;
+use flumen_workloads::taskgen::{generate, ExecMode, TaskGenConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The seed's dense kernel: k-outer loop accumulating straight into the
+/// indexed output element. Kept here as the "before" measurement; the
+/// proptest suite pins `CMat::matmul` bit-identical to this ordering.
+fn naive_matmul(a: &CMat, b: &CMat) -> CMat {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = CMat::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(r, k)];
+            if av == C64::ZERO {
+                continue;
+            }
+            for c in 0..b.cols() {
+                let t = out[(r, c)] + av * b[(k, c)];
+                out[(r, c)] = t;
+            }
+        }
+    }
+    out
+}
+
+/// Cost model of the pre-optimization Clements decomposition: each of the
+/// `n(n−1)/2` Givens rotations materialized as an embedded `n×n` matrix
+/// and applied with the naive kernel. The rotation angles are arbitrary —
+/// only the arithmetic shape (allocation + full matmul per rotation)
+/// matters for the before/after comparison.
+fn decompose_embed_baseline(u: &CMat) -> CMat {
+    let n = u.rows();
+    let mut work = u.clone();
+    let mut step = 0usize;
+    for sweep in 0..n {
+        for i in 0..n.saturating_sub(1 + sweep % 2) {
+            if step >= n * (n - 1) / 2 {
+                return work;
+            }
+            step += 1;
+            let (theta, phi) = (0.3 + 0.01 * step as f64, 0.7 + 0.02 * step as f64);
+            let (c, s) = (theta.cos(), theta.sin());
+            let w = C64::cis(phi);
+            let rot = CMat::from_fn(n, n, |r, col| {
+                if r == i && col == i {
+                    w * C64::from_re(c)
+                } else if r == i && col == i + 1 {
+                    w * C64::from_re(-s)
+                } else if r == i + 1 && col == i {
+                    C64::from_re(s)
+                } else if r == i + 1 && col == i + 1 {
+                    C64::from_re(c)
+                } else if r == col {
+                    C64::from_re(1.0)
+                } else {
+                    C64::ZERO
+                }
+            });
+            work = naive_matmul(&rot, &work);
+        }
+    }
+    work
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    for n in [16usize, 32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = CMat::from_fn(n, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let b = CMat::from_fn(n, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        // Both optimized kernels must stay bit-identical to the seed's.
+        assert_eq!(naive_matmul(&a, &b), a.matmul(&b));
+        assert_eq!(naive_matmul(&a, &b), a.matmul_blocked(&b));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| naive_matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("k_outer", n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_transposed", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_blocked(&b))
+        });
+        let mut out = CMat::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("k_outer_into", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_into(&b, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    group.sample_size(20);
+    for n in [16usize, 32] {
+        let mut rng = StdRng::seed_from_u64(100 + n as u64);
+        let u = random_unitary(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("embed_baseline", n), &n, |bch, _| {
+            bch.iter(|| decompose_embed_baseline(&u))
+        });
+        group.bench_with_input(BenchmarkId::new("in_place", n), &n, |bch, _| {
+            bch.iter(|| clements::decompose(&u).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_program");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(7);
+    let m = RMat::from_fn(8, 8, |_, _| rng.gen_range(-1.0..1.0));
+    let cfg = [
+        (8usize, PartitionConfig::Compute(&m)),
+        (8, PartitionConfig::Idle),
+    ];
+    let mut fab = FlumenFabric::new(16).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("cold"), |bch| {
+        bch.iter(|| {
+            fab.clear_program_cache();
+            fab.set_partitions(&cfg).unwrap();
+        })
+    });
+    // Prime once, then every reprogram replays the cached phase lists.
+    fab.set_partitions(&cfg).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("cache_hit"), |bch| {
+        bch.iter(|| fab.set_partitions(&cfg).unwrap())
+    });
+    assert!(fab.program_cache_stats().hits > 0);
+    group.finish();
+}
+
+fn bench_offload_taskgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload_taskgen");
+    group.sample_size(10);
+    let sys = SystemConfig::paper();
+    let cfg = TaskGenConfig::default();
+    let bench = flumen_workloads::Vgg16Fc::small();
+    group.bench_function(BenchmarkId::from_parameter("vgg_fc_small"), |bch| {
+        bch.iter(|| generate(&bench, &sys, ExecMode::Offload, &cfg))
+    });
+    group.finish();
+}
+
+/// Reduced Fig. 14: Mesh vs Flumen-A on the small benchmark set, executed
+/// directly (no result cache) so the wall time is a real end-to-end
+/// anchor. Returns (geomean speedup, wall milliseconds).
+fn reduced_fig14(quick: bool) -> (f64, f64) {
+    let cfg = flumen::RuntimeConfig::paper();
+    let mut specs = BenchSpec::all(BenchSize::Small);
+    if quick {
+        specs.truncate(1);
+    }
+    let t0 = Instant::now();
+    let mut speedups = Vec::new();
+    for bench in specs {
+        let mut per_topo = Vec::new();
+        for topology in [SystemTopology::Mesh, SystemTopology::FlumenA] {
+            let job = JobSpec::FullRun {
+                bench,
+                topology,
+                cfg: cfg.clone(),
+            };
+            per_topo.push(job.execute().full_run().clone());
+        }
+        speedups.push(speedup(per_topo[0].cycles, per_topo[1].cycles));
+        println!(
+            "  fig14[{}]: mesh {} / flumen-a {} cycles → {:.2}x",
+            per_topo[0].benchmark,
+            per_topo[0].cycles,
+            per_topo[1].cycles,
+            speedups.last().unwrap()
+        );
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (flumen_bench::geomean(&speedups), wall_ms)
+}
+
+fn median_nanos(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.median.as_secs_f64() * 1e9)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut c = Criterion::with_smoke(quick);
+    bench_matmul(&mut c);
+    bench_decompose(&mut c);
+    bench_fabric_program(&mut c);
+    bench_offload_taskgen(&mut c);
+    let results = c.take_results();
+
+    let (fig14_geomean, fig14_wall_ms) = reduced_fig14(quick);
+
+    let cold = median_nanos(&results, "fabric_program/cold");
+    let hit = median_nanos(&results, "fabric_program/cache_hit");
+    let cache_speedup = cold / hit;
+    let derived = [
+        (
+            "matmul_speedup_n16",
+            median_nanos(&results, "matmul/naive/16")
+                / median_nanos(&results, "matmul/k_outer_into/16"),
+        ),
+        (
+            "matmul_speedup_n32",
+            median_nanos(&results, "matmul/naive/32")
+                / median_nanos(&results, "matmul/k_outer_into/32"),
+        ),
+        (
+            "decompose_speedup_n16",
+            median_nanos(&results, "decompose/embed_baseline/16")
+                / median_nanos(&results, "decompose/in_place/16"),
+        ),
+        (
+            "decompose_speedup_n32",
+            median_nanos(&results, "decompose/embed_baseline/32")
+                / median_nanos(&results, "decompose/in_place/32"),
+        ),
+        ("fabric_program_cache_speedup", cache_speedup),
+        ("fig14_reduced_geomean_speedup", fig14_geomean),
+        ("fig14_reduced_wall_ms", fig14_wall_ms),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"suite\": \"flumen-perf\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let nanos = r.median.as_secs_f64() * 1e9;
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {nanos:.1}}}{}\n",
+            r.name,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{k}\": {v:.3}{}\n",
+            if i + 1 < derived.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::env::var("FLUMEN_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_perf.json");
+    println!("\n  → wrote {out}");
+    for (k, v) in derived {
+        println!("  {k}: {v:.3}");
+    }
+    assert!(
+        quick || cache_speedup >= 5.0,
+        "program cache hit must be ≥5x faster than cold programming (got {cache_speedup:.2}x)"
+    );
+}

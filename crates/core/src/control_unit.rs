@@ -52,6 +52,12 @@ pub struct ControlUnitParams {
     pub arbitration_cycles: u64,
     /// Maximum concurrently active compute partitions.
     pub max_partitions: usize,
+    /// Matrix-memory slots of the control unit's program cache (0 disables
+    /// caching — the paper's baseline). When enabled, a request whose
+    /// `matrix_key` matches a resident program skips the full partition
+    /// programming time, and only cache misses charge per-MZI phase
+    /// writes (incremental reprogramming).
+    pub program_cache_entries: usize,
 }
 
 impl ControlUnitParams {
@@ -67,6 +73,7 @@ impl ControlUnitParams {
             compute_lambdas: 8,
             arbitration_cycles: 4,
             max_partitions: 2,
+            program_cache_entries: 0,
         }
     }
 
@@ -79,6 +86,14 @@ impl ControlUnitParams {
         // the forward pass sets the rate.
         let per_config_stream = batches * self.stream_cycles_per_batch;
         self.switch_cycles + configs as f64 * (per_config_switch + per_config_stream)
+    }
+
+    /// Fabric service cost when the request's phases are already resident
+    /// in the program cache: the initial full-mesh programming
+    /// (`switch_cycles`) is skipped, leaving only the pipelined per-config
+    /// switches and streaming.
+    pub fn service_cost_cached(&self, configs: u64, vectors: u64, n: u64) -> f64 {
+        self.service_cost(configs, vectors, n) - self.switch_cycles
     }
 }
 
@@ -95,6 +110,8 @@ struct CompRequest {
     configs: u64,
     vectors: u64,
     n: u64,
+    /// Content address of the weight strip (0 = uncacheable).
+    matrix_key: u64,
     arrived: u64,
 }
 
@@ -121,6 +138,11 @@ pub struct MzimControlUnit {
     /// Statistics: requests admitted / rejected.
     admitted: u64,
     rejected: u64,
+    /// FIFO of matrix keys resident in the program cache (matrix-memory
+    /// model; bounded by `params.program_cache_entries`).
+    cache_keys: VecDeque<u64>,
+    program_cache_hits: u64,
+    program_cache_misses: u64,
     tracer: TraceHandle,
 }
 
@@ -137,6 +159,9 @@ impl MzimControlUnit {
             finished: Vec::new(),
             admitted: 0,
             rejected: 0,
+            cache_keys: VecDeque::new(),
+            program_cache_hits: 0,
+            program_cache_misses: 0,
             tracer: TraceHandle::disabled(),
         }
     }
@@ -164,6 +189,17 @@ impl MzimControlUnit {
     /// Requests rejected so far (computed locally instead).
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Admitted requests whose program was already resident in the cache.
+    pub fn program_cache_hits(&self) -> u64 {
+        self.program_cache_hits
+    }
+
+    /// Admitted requests that paid the full programming cost (and, cache
+    /// enabled, were inserted).
+    pub fn program_cache_misses(&self) -> u64 {
+        self.program_cache_misses
     }
 
     /// Currently queued compute requests.
@@ -249,7 +285,65 @@ impl MzimControlUnit {
                     .with_id(head.tag)
                 });
             }
-            let cost = params.service_cost(head.configs, head.vectors, head.n);
+            let mut cost = params.service_cost(head.configs, head.vectors, head.n);
+            if params.program_cache_entries > 0 && head.matrix_key != 0 {
+                if self.cache_keys.contains(&head.matrix_key) {
+                    // Program-cache hit: the phases are already in matrix
+                    // memory, so the full-mesh programming is skipped and
+                    // zero MZI writes are charged (incremental reprogram
+                    // of an identical program is a no-op).
+                    self.program_cache_hits += 1;
+                    cost = params.service_cost_cached(head.configs, head.vectors, head.n);
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(
+                            TraceCategory::Scheduler,
+                            "compute.program_cache_hit",
+                            now,
+                            0,
+                        )
+                        .with_id(head.tag)
+                    });
+                    self.tracer.emit(|| {
+                        TraceEvent::counter(
+                            TraceCategory::Scheduler,
+                            "incremental_reprogram_mzis",
+                            now,
+                            0,
+                            0.0,
+                        )
+                        .with_id(head.tag)
+                    });
+                } else {
+                    self.program_cache_misses += 1;
+                    while self.cache_keys.len() >= params.program_cache_entries {
+                        self.cache_keys.pop_front();
+                    }
+                    self.cache_keys.push_back(head.matrix_key);
+                    // Full SVD-circuit program: w(w−1)/2 mesh MZIs plus
+                    // the w attenuator MZIs of the Σ column.
+                    let programmed = (width * (width.saturating_sub(1)) / 2 + width) as u64;
+                    self.counts.mzim_programmed_mzis += programmed;
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(
+                            TraceCategory::Scheduler,
+                            "compute.program_cache_miss",
+                            now,
+                            0,
+                        )
+                        .with_id(head.tag)
+                    });
+                    self.tracer.emit(|| {
+                        TraceEvent::counter(
+                            TraceCategory::Scheduler,
+                            "incremental_reprogram_mzis",
+                            now,
+                            0,
+                            programmed as f64,
+                        )
+                        .with_id(head.tag)
+                    });
+                }
+            }
             self.emit_outcome(AdmissionOutcome::Admitted, now, head.tag, beta);
             self.admitted += 1;
             self.counts.mzim_reconfigs += head.configs;
@@ -275,7 +369,7 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
         tag: u64,
         payload: ExternalPayload,
     ) {
-        let [configs, vectors, n, _macs] = payload;
+        let [configs, vectors, n, _macs, matrix_key] = payload;
         self.tracer.emit(|| {
             TraceEvent::instant(TraceCategory::Scheduler, "request", now, 0)
                 .with_id(tag)
@@ -288,6 +382,7 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
             configs,
             vectors,
             n,
+            matrix_key,
             arrived: now,
         });
     }
@@ -393,7 +488,7 @@ mod tests {
     fn idle_network_admits_quickly() {
         let mut cu = unit();
         let mut net = net16();
-        cu.on_request(0, 0, 2, 77, [4, 16, 4, 0]);
+        cu.on_request(0, 0, 2, 77, [4, 16, 4, 0, 0]);
         let outcomes = drive(&mut cu, &mut net, 300);
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].accepted);
@@ -409,7 +504,7 @@ mod tests {
         let mut net = net16();
         // Requester on chiplet 13 → fabric wire 6 → bottom half (wires 4..8
         // → ports 8..16).
-        cu.on_request(0, 52, 13, 1, [1, 1_000_000, 4, 0]);
+        cu.on_request(0, 52, 13, 1, [1, 1_000_000, 4, 0, 0]);
         let _ = cu.step(0, &mut net);
         let reserved = net.reserved_wires();
         assert_eq!(reserved, vec![8, 9, 10, 11, 12, 13, 14, 15]);
@@ -443,7 +538,7 @@ mod tests {
                 ));
             }
         }
-        cu.on_request(0, 0, 2, 5, [4, 16, 4, 0]);
+        cu.on_request(0, 0, 2, 5, [4, 16, 4, 0, 0]);
         let _ = cu.step(0, &mut net);
         assert_eq!(cu.admitted(), 0, "β above η must defer");
         assert_eq!(cu.queued(), 1);
@@ -474,7 +569,7 @@ mod tests {
                 ));
             }
         }
-        cu.on_request(0, 0, 2, 9, [4, 16, 4, 0]);
+        cu.on_request(0, 0, 2, 9, [4, 16, 4, 0, 0]);
         let outcomes = cu.step(1, &mut net);
         assert!(outcomes.iter().any(|o| !o.accepted && o.tag == 9));
         assert_eq!(cu.rejected(), 1);
@@ -488,8 +583,8 @@ mod tests {
         };
         let mut cu = MzimControlUnit::new(params);
         let mut net = net16();
-        cu.on_request(0, 0, 1, 1, [100, 64, 4, 0]);
-        cu.on_request(0, 4, 9, 2, [100, 64, 4, 0]);
+        cu.on_request(0, 0, 1, 1, [100, 64, 4, 0, 0]);
+        cu.on_request(0, 4, 9, 2, [100, 64, 4, 0, 0]);
         let _ = cu.step(0, &mut net);
         assert_eq!(cu.admitted(), 1);
         assert_eq!(cu.queued(), 1);
@@ -502,7 +597,7 @@ mod tests {
     fn counts_accumulate_offload_activity() {
         let mut cu = unit();
         let mut net = net16();
-        cu.on_request(0, 0, 2, 1, [10, 32, 4, 0]);
+        cu.on_request(0, 0, 2, 1, [10, 32, 4, 0, 0]);
         drive(&mut cu, &mut net, 1000);
         let mut counts = ActivityCounts::default();
         cu.drain_counts(&mut counts);
@@ -519,8 +614,8 @@ mod tests {
         let mut cu = unit();
         cu.set_tracer(rec.handle());
         let mut net = net16();
-        cu.on_request(0, 0, 1, 1, [20, 64, 4, 0]);
-        cu.on_request(0, 4, 9, 2, [20, 64, 4, 0]);
+        cu.on_request(0, 0, 1, 1, [20, 64, 4, 0, 0]);
+        cu.on_request(0, 4, 9, 2, [20, 64, 4, 0, 0]);
         drive(&mut cu, &mut net, 5_000);
         let evs = rec.events();
         assert!(evs.iter().any(|e| e.name == "request"));
@@ -540,6 +635,98 @@ mod tests {
         assert_eq!(begins, ends);
     }
 
+    fn cached_unit(entries: usize) -> MzimControlUnit {
+        MzimControlUnit::new(ControlUnitParams {
+            program_cache_entries: entries,
+            ..ControlUnitParams::paper()
+        })
+    }
+
+    #[test]
+    fn paper_params_disable_program_cache() {
+        let mut cu = unit();
+        let mut net = net16();
+        cu.on_request(0, 0, 2, 1, [4, 16, 4, 0, 42]);
+        cu.on_request(0, 0, 2, 2, [4, 16, 4, 0, 42]);
+        drive(&mut cu, &mut net, 1000);
+        assert_eq!(cu.program_cache_hits(), 0);
+        assert_eq!(cu.program_cache_misses(), 0);
+        let mut counts = ActivityCounts::default();
+        cu.drain_counts(&mut counts);
+        assert_eq!(counts.mzim_programmed_mzis, 0);
+    }
+
+    #[test]
+    fn repeated_key_hits_program_cache() {
+        let mut cu = cached_unit(4);
+        let mut net = net16();
+        cu.on_request(0, 0, 2, 1, [4, 16, 4, 0, 42]);
+        cu.on_request(0, 0, 2, 2, [4, 16, 4, 0, 42]);
+        cu.on_request(0, 0, 2, 3, [4, 16, 4, 0, 42]);
+        let outcomes = drive(&mut cu, &mut net, 2000);
+        assert_eq!(outcomes.iter().filter(|o| o.accepted).count(), 3);
+        assert_eq!(cu.program_cache_misses(), 1);
+        assert_eq!(cu.program_cache_hits(), 2);
+        // Only the miss charged phase writes: 4·3/2 + 4 = 10 MZIs, once.
+        let mut counts = ActivityCounts::default();
+        cu.drain_counts(&mut counts);
+        assert_eq!(counts.mzim_programmed_mzis, 10);
+    }
+
+    #[test]
+    fn zero_key_bypasses_program_cache() {
+        let mut cu = cached_unit(4);
+        let mut net = net16();
+        cu.on_request(0, 0, 2, 1, [4, 16, 4, 0, 0]);
+        cu.on_request(0, 0, 2, 2, [4, 16, 4, 0, 0]);
+        drive(&mut cu, &mut net, 1000);
+        assert_eq!(cu.program_cache_hits(), 0);
+        assert_eq!(cu.program_cache_misses(), 0);
+    }
+
+    #[test]
+    fn program_cache_evicts_fifo() {
+        let mut cu = cached_unit(1);
+        let mut net = net16();
+        // Key 7, then key 8 (evicts 7), then key 7 again → miss.
+        cu.on_request(0, 0, 2, 1, [1, 8, 4, 0, 7]);
+        cu.on_request(0, 0, 2, 2, [1, 8, 4, 0, 8]);
+        cu.on_request(0, 0, 2, 3, [1, 8, 4, 0, 7]);
+        drive(&mut cu, &mut net, 2000);
+        assert_eq!(cu.program_cache_misses(), 3);
+        assert_eq!(cu.program_cache_hits(), 0);
+    }
+
+    #[test]
+    fn cache_hit_shortens_service_and_emits_events() {
+        use flumen_trace::RecordingTracer;
+        let p = ControlUnitParams::paper();
+        assert!(
+            p.service_cost_cached(4, 16, 4) < p.service_cost(4, 16, 4),
+            "cached cost must drop the initial programming"
+        );
+        let rec = RecordingTracer::new();
+        let mut cu = cached_unit(4);
+        cu.set_tracer(rec.handle());
+        let mut net = net16();
+        cu.on_request(0, 0, 2, 1, [4, 16, 4, 0, 42]);
+        cu.on_request(0, 0, 2, 2, [4, 16, 4, 0, 42]);
+        drive(&mut cu, &mut net, 2000);
+        let evs = rec.events();
+        assert!(evs.iter().any(|e| e.name == "compute.program_cache_miss"));
+        assert!(evs.iter().any(|e| e.name == "compute.program_cache_hit"));
+        let reprogram: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.name == "incremental_reprogram_mzis")
+            .filter_map(|e| match e.kind {
+                EventKind::Counter(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        // Miss programs 10 MZIs, hit reprograms none.
+        assert_eq!(reprogram, vec![10.0, 0.0]);
+    }
+
     #[test]
     fn timeout_rejects_stuck_requests() {
         let params = ControlUnitParams {
@@ -553,7 +740,7 @@ mod tests {
         // η = -1 means nothing is ever admitted; requests must time out.
         let mut cu = MzimControlUnit::new(params);
         let mut net = net16();
-        cu.on_request(0, 0, 2, 3, [4, 16, 4, 0]);
+        cu.on_request(0, 0, 2, 3, [4, 16, 4, 0, 0]);
         let outcomes = drive(&mut cu, &mut net, 200);
         assert!(outcomes.iter().any(|o| !o.accepted && o.tag == 3));
     }

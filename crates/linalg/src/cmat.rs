@@ -139,6 +139,22 @@ impl CMat {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::ZERO; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free matrix-vector product: `y ← A·x`.
+    ///
+    /// Each output element is accumulated into a local scalar (ascending
+    /// column index) and stored once, so the summation order is the plain
+    /// left-to-right fold `((0 + a₀x₀) + a₁x₁) + …` that the kernel
+    /// proptests pin down bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[C64], y: &mut [C64]) {
         assert_eq!(
             x.len(),
             self.cols,
@@ -146,42 +162,139 @@ impl CMat {
             x.len(),
             self.cols
         );
-        let mut y = vec![C64::ZERO; self.rows];
-        for r in 0..self.rows {
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "output length {} does not match matrix rows {}",
+            y.len(),
+            self.rows
+        );
+        for (r, out) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = C64::ZERO;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[r] = acc;
+            *out = acc;
         }
-        y
     }
 
+    /// Row/column tile edge for the blocked [`CMat::matmul_blocked`]
+    /// kernel. Chosen so one A-row tile plus one Bᵀ tile
+    /// (2 · 16 · 16 C64 = 8 KiB) stay resident in L1 across the inner dot
+    /// products.
+    const MATMUL_BLOCK: usize = 16;
+
     /// Matrix product `A·B`.
+    ///
+    /// Delegates to the allocation-reusing k-outer kernel of
+    /// [`CMat::matmul_into`]: the per-`k` row-scaled accumulation has no
+    /// serial dependency across output columns, so it vectorizes, while
+    /// the transposed-B dot-product form ([`CMat::matmul_blocked`]) folds
+    /// into a single `acc` whose strict FP ordering defeats SIMD.
+    /// `bench_perf` records the k-outer kernel beating the blocked one at
+    /// every mesh-relevant size (N ≤ 128). Each output element is the
+    /// ascending-`k` fold `((0 + a₀b₀) + a₁b₁) + …` with zero `A`-elements
+    /// skipped — the exact term sequence of the seed's triple loop, so
+    /// results are bit-identical to it (proptested in
+    /// `tests/proptest_kernels.rs`).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `A·B` via a transposed-B, output-tiled kernel.
+    ///
+    /// Transposes `B` once so every inner dot product walks two contiguous
+    /// rows, and tiles the output in [`CMat::MATMUL_BLOCK`]-square blocks.
+    /// Bit-identical to [`CMat::matmul`] (same ascending-`k` fold and
+    /// zero-`A` skip per output element). Measured slower than the k-outer
+    /// kernel at mesh sizes — the dot-product accumulator serializes the
+    /// FP adds — so it is kept for the benchmark trajectory and for callers
+    /// multiplying matrices large enough for the Bᵀ locality to win.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_blocked(&self, other: &CMat) -> CMat {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions do not match: {}×{} · {}×{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let bt = other.transpose();
         let mut out = CMat::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                for c in 0..other.cols {
-                    out[(r, c)] += a * other[(k, c)];
+        let (rows, cols, inner) = (self.rows, other.cols, self.cols);
+        for r0 in (0..rows).step_by(Self::MATMUL_BLOCK) {
+            let r1 = (r0 + Self::MATMUL_BLOCK).min(rows);
+            for c0 in (0..cols).step_by(Self::MATMUL_BLOCK) {
+                let c1 = (c0 + Self::MATMUL_BLOCK).min(cols);
+                for r in r0..r1 {
+                    let a_row = &self.data[r * inner..(r + 1) * inner];
+                    let o_row = &mut out.data[r * cols..(r + 1) * cols];
+                    for (c, o) in o_row[c0..c1].iter_mut().enumerate() {
+                        let b_row = &bt.data[(c0 + c) * inner..(c0 + c + 1) * inner];
+                        let mut acc = C64::ZERO;
+                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                            if a == C64::ZERO {
+                                continue;
+                            }
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Allocation-free matrix product: `out ← A·B`.
+    ///
+    /// Uses the k-outer kernel (stream `B` rows, scale by `aᵣₖ`) directly
+    /// into `out`, accumulating per output element in ascending `k` with
+    /// the same zero-`A` skip as [`CMat::matmul`] — the two kernels are
+    /// bit-identical (proptested).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &CMat, out: &mut CMat) {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions do not match: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "output must be {}×{}, got {}×{}",
+            self.rows,
+            other.cols,
+            out.rows,
+            out.cols
+        );
+        out.data.fill(C64::ZERO);
+        let cols = other.cols;
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let o_row = &mut out.data[r * cols..(r + 1) * cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let b_row = &other.data[k * cols..(k + 1) * cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// Scales every element by the complex scalar `k`.
@@ -224,26 +337,6 @@ impl CMat {
         self.adjoint()
             .matmul(self)
             .approx_eq(&CMat::identity(self.rows), tol)
-    }
-
-    /// Embeds the 2×2 block `t` into an `n×n` identity acting on adjacent
-    /// channels `(m, m+1)` — the transfer matrix of a single MZI placed on
-    /// waveguides `m` and `m+1` of an `n`-waveguide bus.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `m + 1 >= n`.
-    pub fn embed_2x2(n: usize, m: usize, t: [[C64; 2]; 2]) -> CMat {
-        assert!(
-            m + 1 < n,
-            "2x2 block at ({m}, {m}+1) out of range for n={n}"
-        );
-        let mut out = CMat::identity(n);
-        out[(m, m)] = t[0][0];
-        out[(m, m + 1)] = t[0][1];
-        out[(m + 1, m)] = t[1][0];
-        out[(m + 1, m + 1)] = t[1][1];
-        out
     }
 
     /// Left-multiplies `self` in place by a 2×2 block acting on rows
@@ -428,6 +521,20 @@ mod tests {
         assert_eq!(y[1], C64::from_re(5.0)); // 1*1 + 2*2
     }
 
+    /// Embeds the 2×2 block `t` into an `n×n` identity on channels
+    /// `(m, m+1)` — reference for the in-place `apply_2x2_*` tests.
+    fn embed_2x2(n: usize, m: usize, t: [[C64; 2]; 2]) -> CMat {
+        CMat::from_fn(n, n, |r, c| {
+            if (m..=m + 1).contains(&r) && (m..=m + 1).contains(&c) {
+                t[r - m][c - m]
+            } else if r == c {
+                C64::ONE
+            } else {
+                C64::ZERO
+            }
+        })
+    }
+
     #[test]
     fn embed_matches_apply_left() {
         let t = [
@@ -435,7 +542,7 @@ mod tests {
             [C64::new(0.0, 0.8), C64::new(0.6, 0.0)],
         ];
         let a = CMat::from_fn(4, 4, |r, c| C64::new(r as f64, c as f64));
-        let full = CMat::embed_2x2(4, 1, t).matmul(&a);
+        let full = embed_2x2(4, 1, t).matmul(&a);
         let mut fast = a.clone();
         fast.apply_2x2_left(1, t);
         assert!(full.approx_eq(&fast, 1e-12));
@@ -448,10 +555,57 @@ mod tests {
             [C64::new(0.0, 0.8), C64::new(0.6, 0.0)],
         ];
         let a = CMat::from_fn(4, 4, |r, c| C64::new(c as f64, r as f64));
-        let full = a.matmul(&CMat::embed_2x2(4, 2, t));
+        let full = a.matmul(&embed_2x2(4, 2, t));
         let mut fast = a.clone();
         fast.apply_2x2_right(2, t);
         assert!(full.approx_eq(&fast, 1e-12));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = CMat::from_fn(3, 5, |r, c| C64::new(r as f64 - 1.0, c as f64));
+        let b = CMat::from_fn(5, 2, |r, c| C64::new(c as f64, r as f64 - 2.0));
+        let mut out = CMat::zeros(3, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_blocked_matches_matmul() {
+        // Rectangular shapes exercising partial tiles on every edge.
+        for (m, k, n) in [(3usize, 5usize, 2usize), (17, 16, 19), (33, 7, 16)] {
+            let a = CMat::from_fn(m, k, |r, c| C64::new((r * k + c) as f64 * 0.1, -(c as f64)));
+            let b = CMat::from_fn(k, n, |r, c| {
+                C64::new(c as f64 - 0.5, (r * n + c) as f64 * 0.2)
+            });
+            assert_eq!(a.matmul_blocked(&b), a.matmul(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_blocked_mismatch_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(4, 2);
+        let _ = a.matmul_blocked(&b);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = CMat::from_fn(4, 3, |r, c| C64::new(r as f64, c as f64 + 0.5));
+        let x = vec![C64::from_re(1.0), C64::I, C64::new(-2.0, 3.0)];
+        let mut y = vec![C64::ZERO; 4];
+        a.mul_vec_into(&x, &mut y);
+        assert_eq!(y, a.mul_vec(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be")]
+    fn matmul_into_checks_output_shape() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(3, 4);
+        let mut out = CMat::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

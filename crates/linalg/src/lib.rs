@@ -45,6 +45,7 @@ mod block;
 mod cmat;
 mod complex;
 mod error;
+mod hash;
 mod qr;
 mod rmat;
 mod svd;
@@ -53,6 +54,7 @@ pub use block::BlockMatrix;
 pub use cmat::CMat;
 pub use complex::C64;
 pub use error::{LinalgError, Result};
+pub use hash::sha256_hex;
 pub use qr::{qr, random_orthogonal, random_unitary, Qr};
 pub use rmat::RMat;
 pub use svd::{spectral_norm, spectral_scale, svd, Svd};

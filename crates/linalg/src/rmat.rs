@@ -121,13 +121,26 @@ impl RMat {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "vector/matrix dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            y[r] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
-        }
+        self.mul_vec_into(x, &mut y);
         y
+    }
+
+    /// Allocation-free matrix-vector product: `y ← A·x`.
+    ///
+    /// Summation order per element is the ascending-column left-to-right
+    /// fold, identical to [`RMat::mul_vec`] bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "vector/matrix dimension mismatch");
+        assert_eq!(y.len(), self.rows, "output/matrix dimension mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            *out = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Matrix product `A·B`.
@@ -136,12 +149,38 @@ impl RMat {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &RMat) -> RMat {
+        let mut out = RMat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free matrix product: `out ← A·B`.
+    ///
+    /// k-outer kernel streaming contiguous `B` rows; per output element the
+    /// accumulation order is ascending `k` with zero-`A` terms skipped —
+    /// bit-identical to the naive triple loop (see
+    /// `tests/proptest_kernels.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &RMat, out: &mut RMat) {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions do not match: {}×{} · {}×{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = RMat::zeros(self.rows, other.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "output must be {}×{}, got {}×{}",
+            self.rows,
+            other.cols,
+            out.rows,
+            out.cols
+        );
+        out.data.fill(0.0);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
@@ -155,7 +194,6 @@ impl RMat {
                 }
             }
         }
-        out
     }
 
     /// Scales every element by `k`.

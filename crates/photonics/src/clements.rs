@@ -276,13 +276,26 @@ pub fn apply_program_in_range(
 }
 
 /// Max deviation of `U*U` from the identity.
+///
+/// Gram elements `(U*U)[r,c] = Σ_k conj(u[k,r])·u[k,c]` are computed on the
+/// fly with the same ascending-`k` fold and zero-term skip as the matmul
+/// kernels, so the deviation is bit-identical to the old
+/// `adjoint().matmul()` path while allocating nothing — this runs on every
+/// `decompose` call, i.e. twice per cold compute-partition program.
 pub fn deviation_from_unitary(u: &CMat) -> f64 {
-    let gram = u.adjoint().matmul(u);
     let mut dev: f64 = 0.0;
-    for r in 0..u.rows() {
+    for r in 0..u.cols() {
         for c in 0..u.cols() {
+            let mut acc = C64::ZERO;
+            for k in 0..u.rows() {
+                let a = u[(k, r)].conj();
+                if a == C64::ZERO {
+                    continue;
+                }
+                acc += a * u[(k, c)];
+            }
             let target = if r == c { C64::ONE } else { C64::ZERO };
-            dev = dev.max((gram[(r, c)] - target).abs());
+            dev = dev.max((acc - target).abs());
         }
     }
     dev

@@ -21,11 +21,12 @@ use crate::analog::AnalogModel;
 use crate::clements::{apply_program_in_range, decompose, program_mesh, MeshProgram};
 use crate::device::DeviceParams;
 use crate::mesh::MzimMesh;
-use crate::mzi::Attenuator;
+use crate::mzi::{Attenuator, MziPhase};
 use crate::routing;
 use crate::{PhotonicsError, Result};
-use flumen_linalg::{spectral_scale, svd, CMat, RMat, C64};
+use flumen_linalg::{sha256_hex, spectral_scale, svd, CMat, RMat, C64};
 use flumen_units::Decibels;
+use std::collections::{HashMap, VecDeque};
 
 /// What a fabric partition is currently doing.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +66,46 @@ pub enum PartitionConfig<'a> {
     /// Program a compute circuit for the given `w×w` matrix (spectral-norm
     /// scaling is applied automatically).
     Compute(&'a RMat),
+}
+
+/// Everything [`FlumenFabric::program_compute_partition`] derives from a
+/// weight matrix, minus the mesh writes — the unit of the content-addressed
+/// program cache. Replaying a cached entry through
+/// [`apply_program_in_range`] is deterministic, so a cache hit programs the
+/// mesh bit-identically to a cold SVD + Clements run.
+#[derive(Debug, Clone)]
+struct CachedProgram {
+    v_prog: MeshProgram,
+    u_prog: MeshProgram,
+    sigma: Vec<f64>,
+    norm: f64,
+}
+
+/// Hit/miss statistics of the fabric's MeshProgram cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramCacheStats {
+    /// Compute-partition programs served from the cache (SVD + Clements
+    /// decomposition skipped).
+    pub hits: u64,
+    /// Programs derived from scratch and (capacity permitting) cached.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries; 0 disables the cache.
+    pub capacity: usize,
+}
+
+/// Phase-diff statistics from the most recent successful
+/// [`FlumenFabric::set_partitions`] call: how much of the mesh actually
+/// changed, for incremental-reprogramming latency/energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReprogramStats {
+    /// Mesh MZIs whose phase pair differs from before the call.
+    pub changed_mzis: usize,
+    /// Attenuator-column MZIs whose amplitude differs from before the call.
+    pub changed_attens: usize,
+    /// Total programmable mesh MZIs (`N(N−1)/2`).
+    pub total_mzis: usize,
 }
 
 /// Per-path trace through the fabric, for loss accounting.
@@ -115,7 +156,21 @@ pub struct FlumenFabric {
     /// Phase screen at the fabric outputs.
     out_phases: Vec<f64>,
     partitions: Vec<Partition>,
+    /// Content-addressed MeshProgram cache keyed by SHA-256 over the weight
+    /// matrix bits; survives [`FlumenFabric::reset`].
+    program_cache: HashMap<String, CachedProgram>,
+    /// FIFO eviction order of `program_cache` keys.
+    program_cache_order: VecDeque<String>,
+    program_cache_capacity: usize,
+    program_cache_hits: u64,
+    program_cache_misses: u64,
+    last_reprogram: ReprogramStats,
 }
+
+/// Default MeshProgram-cache capacity. Weight strips repeat heavily within
+/// an offload batch (§3.3); a few dozen entries cover the working set of
+/// every benchmark workload while bounding memory to ~capacity·N² phases.
+const DEFAULT_PROGRAM_CACHE_CAPACITY: usize = 32;
 
 impl FlumenFabric {
     /// Creates an idle `n`-input fabric.
@@ -142,6 +197,12 @@ impl FlumenFabric {
                 width: n,
                 role: PartitionRole::Idle,
             }],
+            program_cache: HashMap::new(),
+            program_cache_order: VecDeque::new(),
+            program_cache_capacity: DEFAULT_PROGRAM_CACHE_CAPACITY,
+            program_cache_hits: 0,
+            program_cache_misses: 0,
+            last_reprogram: ReprogramStats::default(),
         })
     }
 
@@ -245,6 +306,8 @@ impl FlumenFabric {
                 requirement: "partition widths must be even, ≥ 2, and sum to the fabric size",
             });
         }
+        let phases_before: Vec<MziPhase> = self.mesh.iter().map(|s| s.phase).collect();
+        let attens_before: Vec<f64> = self.attens.iter().map(|a| a.amplitude()).collect();
         self.reset();
         self.partitions.clear();
         let mut base = 0usize;
@@ -264,6 +327,21 @@ impl FlumenFabric {
             });
             base += width;
         }
+        self.last_reprogram = ReprogramStats {
+            changed_mzis: self
+                .mesh
+                .iter()
+                .zip(phases_before.iter())
+                .filter(|(s, p)| s.phase != **p)
+                .count(),
+            changed_attens: self
+                .attens
+                .iter()
+                .zip(attens_before.iter())
+                .filter(|(a, b)| a.amplitude() != **b)
+                .count(),
+            total_mzis: self.mesh.mzi_count(),
+        };
         Ok(())
     }
 
@@ -282,6 +360,19 @@ impl FlumenFabric {
                 requirement: "compute partitions need width ≤ N/2 (half-columns per mesh)",
             });
         }
+        let key = if self.program_cache_capacity > 0 {
+            Some(matrix_key(m))
+        } else {
+            None
+        };
+        if let Some(k) = &key {
+            if let Some(cached) = self.program_cache.get(k) {
+                let cached = cached.clone();
+                self.program_cache_hits += 1;
+                return self.apply_program(base, w, &cached);
+            }
+            self.program_cache_misses += 1;
+        }
         let (scaled, norm) = spectral_scale(m)?;
         let f = svd(&scaled)?;
         for &s in &f.sigma {
@@ -289,17 +380,83 @@ impl FlumenFabric {
                 return Err(PhotonicsError::SingularValueTooLarge { sigma: s });
             }
         }
+        let entry = CachedProgram {
+            v_prog: decompose(&f.v.transpose().to_cmat())?,
+            u_prog: decompose(&f.u.to_cmat())?,
+            sigma: f.sigma,
+            norm,
+        };
+        let result = self.apply_program(base, w, &entry)?;
+        if let Some(k) = key {
+            self.cache_insert(k, entry);
+        }
+        Ok(result)
+    }
+
+    /// Writes a (possibly cached) compute program onto wires
+    /// `[base, base+w)`. Deterministic given the program, so cache hits and
+    /// cold derivations produce bit-identical mesh state.
+    fn apply_program(&mut self, base: usize, w: usize, prog: &CachedProgram) -> Result<f64> {
         let half = self.n / 2;
-        let v_prog: MeshProgram = decompose(&f.v.transpose().to_cmat())?;
-        let u_prog: MeshProgram = decompose(&f.u.to_cmat())?;
-        let v_out = apply_program_in_range(&mut self.mesh, &v_prog, base, 0, half)?;
-        let u_out = apply_program_in_range(&mut self.mesh, &u_prog, base, half, half)?;
+        let v_out = apply_program_in_range(&mut self.mesh, &prog.v_prog, base, 0, half)?;
+        let u_out = apply_program_in_range(&mut self.mesh, &prog.u_prog, base, half, half)?;
         for i in 0..w {
             self.mid_phases[base + i] = v_out[i];
             self.out_phases[base + i] = u_out[i];
-            self.attens[base + i] = Attenuator::with_amplitude(f.sigma[i].min(1.0))?;
+            self.attens[base + i] = Attenuator::with_amplitude(prog.sigma[i].min(1.0))?;
         }
-        Ok(norm)
+        Ok(prog.norm)
+    }
+
+    /// Inserts a derived program, evicting the oldest entries (FIFO) once
+    /// the capacity is reached.
+    fn cache_insert(&mut self, key: String, entry: CachedProgram) {
+        while self.program_cache.len() >= self.program_cache_capacity {
+            if let Some(oldest) = self.program_cache_order.pop_front() {
+                self.program_cache.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+        self.program_cache_order.push_back(key.clone());
+        self.program_cache.insert(key, entry);
+    }
+
+    /// Hit/miss statistics of the MeshProgram cache.
+    pub fn program_cache_stats(&self) -> ProgramCacheStats {
+        ProgramCacheStats {
+            hits: self.program_cache_hits,
+            misses: self.program_cache_misses,
+            entries: self.program_cache.len(),
+            capacity: self.program_cache_capacity,
+        }
+    }
+
+    /// Sets the MeshProgram-cache capacity (0 disables caching). Shrinking
+    /// evicts oldest-first; hit/miss counters are preserved.
+    pub fn set_program_cache_capacity(&mut self, capacity: usize) {
+        self.program_cache_capacity = capacity;
+        while self.program_cache.len() > capacity {
+            if let Some(oldest) = self.program_cache_order.pop_front() {
+                self.program_cache.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops every cached program and zeroes the hit/miss counters.
+    pub fn clear_program_cache(&mut self) {
+        self.program_cache.clear();
+        self.program_cache_order.clear();
+        self.program_cache_hits = 0;
+        self.program_cache_misses = 0;
+    }
+
+    /// Phase-diff statistics from the most recent successful
+    /// [`FlumenFabric::set_partitions`] call.
+    pub fn last_reprogram(&self) -> ReprogramStats {
+        self.last_reprogram
     }
 
     /// Routes a permutation inside communication partition `part`
@@ -538,6 +695,20 @@ impl FlumenFabric {
     }
 }
 
+/// Content-address of a weight matrix: SHA-256 over dimensions plus the
+/// little-endian `f64::to_bits` of every element (row-major). Bit-exact —
+/// matrices differing only in `-0.0` vs `+0.0` or NaN payloads hash apart,
+/// which errs on the side of a spurious miss, never a wrong hit.
+fn matrix_key(m: &RMat) -> String {
+    let mut bytes = Vec::with_capacity(16 + m.as_slice().len() * 8);
+    bytes.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+    for v in m.as_slice() {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    sha256_hex(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -744,6 +915,111 @@ mod tests {
         for i in 0..4 {
             assert!((y[i] - t[i]).abs() < 0.05 * fs.max(1e-9));
         }
+    }
+
+    #[test]
+    fn cache_hit_programs_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let cfg = [
+            (4usize, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ];
+        let mut cold = FlumenFabric::new(8).unwrap();
+        cold.set_partitions(&cfg).unwrap();
+        let cold_t = cold.transfer_matrix();
+        assert_eq!(cold.program_cache_stats().hits, 0);
+        assert_eq!(cold.program_cache_stats().misses, 1);
+        assert_eq!(cold.program_cache_stats().entries, 1);
+
+        // Re-programming the same matrix hits the cache and produces the
+        // exact same mesh state (PartialEq on CMat is bitwise).
+        cold.set_partitions(&cfg).unwrap();
+        assert_eq!(cold.program_cache_stats().hits, 1);
+        assert_eq!(cold.transfer_matrix(), cold_t);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let mut f = FlumenFabric::new(8).unwrap();
+        f.set_program_cache_capacity(0);
+        let cfg = [
+            (4usize, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ];
+        f.set_partitions(&cfg).unwrap();
+        f.set_partitions(&cfg).unwrap();
+        let stats = f.program_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_evicts_fifo_at_capacity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mats: Vec<RMat> = (0..3)
+            .map(|_| RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut f = FlumenFabric::new(8).unwrap();
+        f.set_program_cache_capacity(2);
+        for m in &mats {
+            f.set_partitions(&[(4, PartitionConfig::Compute(m)), (4, PartitionConfig::Idle)])
+                .unwrap();
+        }
+        let stats = f.program_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 3);
+        // Oldest entry (mats[0]) was evicted: re-programming it misses.
+        f.set_partitions(&[
+            (4, PartitionConfig::Compute(&mats[0])),
+            (4, PartitionConfig::Idle),
+        ])
+        .unwrap();
+        assert_eq!(f.program_cache_stats().misses, 4);
+        // Newest entry is still resident.
+        f.set_partitions(&[
+            (4, PartitionConfig::Compute(&mats[2])),
+            (4, PartitionConfig::Idle),
+        ])
+        .unwrap();
+        assert_eq!(f.program_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_program_cache_resets_counters() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let mut f = FlumenFabric::new(8).unwrap();
+        f.set_partitions(&[
+            (4, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ])
+        .unwrap();
+        f.clear_program_cache();
+        let stats = f.program_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.capacity, 32);
+    }
+
+    #[test]
+    fn reprogram_stats_diff_changed_mzis() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let m = RMat::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let cfg = [
+            (4usize, PartitionConfig::Compute(&m)),
+            (4, PartitionConfig::Idle),
+        ];
+        let mut f = FlumenFabric::new(8).unwrap();
+        f.set_partitions(&cfg).unwrap();
+        let first = f.last_reprogram();
+        assert!(first.changed_mzis > 0);
+        assert_eq!(first.total_mzis, 28);
+        // Identical re-program: every phase lands on its previous value.
+        f.set_partitions(&cfg).unwrap();
+        let second = f.last_reprogram();
+        assert_eq!(second.changed_mzis, 0);
+        assert_eq!(second.changed_attens, 0);
     }
 
     #[test]

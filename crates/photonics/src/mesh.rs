@@ -203,11 +203,15 @@ impl MzimMesh {
         for slot in &self.slots {
             u.apply_2x2_left(slot.mode, slot.phase.transfer());
         }
-        let mut screen = CMat::identity(self.n);
+        // Output phase screen as an in-place row scaling — the diagonal
+        // matmul it replaces was the last O(n³) allocation on this path.
         for (i, &p) in self.output_phases.iter().enumerate() {
-            screen[(i, i)] = C64::cis(p);
+            let w = C64::cis(p);
+            for c in 0..self.n {
+                u[(i, c)] = w * u[(i, c)];
+            }
         }
-        screen.matmul(&u)
+        u
     }
 
     /// Counts the MZIs traversed from input `src` to output `dst` when the

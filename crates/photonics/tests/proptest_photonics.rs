@@ -133,4 +133,33 @@ proptest! {
         let pout: f64 = y.iter().map(|f| f.norm_sqr()).sum();
         prop_assert!((pin - pout).abs() < 1e-9 * (1.0 + pin));
     }
+
+    /// A program-cache hit replays the stored phase lists, so reprogramming
+    /// the same weight matrix leaves the fabric in a bit-identical state —
+    /// for any random matrix and any legal partition width.
+    #[test]
+    fn fabric_cache_hit_bit_identical_to_fresh(half_w in 1usize..3, seed in any::<u32>()) {
+        let w = 2 * half_w; // widths must be even and ≤ N/2 = 4
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let m = RMat::from_fn(w, w, |_, _| rng.gen_range(-1.0..1.0));
+        let cfg = [
+            (w, PartitionConfig::Compute(&m)),
+            (8 - w, PartitionConfig::Idle),
+        ];
+        let mut fabric = FlumenFabric::new(8).unwrap();
+        fabric.set_partitions(&cfg).unwrap();
+        let fresh = fabric.transfer_matrix();
+        fabric.set_partitions(&cfg).unwrap();
+        prop_assert_eq!(fabric.program_cache_stats().hits, 1);
+        let replayed = fabric.transfer_matrix();
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert_eq!(fresh[(r, c)].re.to_bits(), replayed[(r, c)].re.to_bits());
+                prop_assert_eq!(fresh[(r, c)].im.to_bits(), replayed[(r, c)].im.to_bits());
+            }
+        }
+        // The identical reprogram drove zero phase or attenuation changes.
+        prop_assert_eq!(fabric.last_reprogram().changed_mzis, 0);
+        prop_assert_eq!(fabric.last_reprogram().changed_attens, 0);
+    }
 }

@@ -142,6 +142,7 @@ json_struct!(ControlUnitParams {
     compute_lambdas,
     arbitration_cycles,
     max_partitions,
+    program_cache_entries,
 });
 
 json_struct!(EnergyParams {
@@ -198,6 +199,7 @@ json_struct!(ActivityCounts {
     mzim_output_samples,
     mzim_active_cycles,
     mzim_reconfigs,
+    mzim_programmed_mzis,
 });
 
 json_struct!(NetStats {

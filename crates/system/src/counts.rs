@@ -39,6 +39,11 @@ pub struct ActivityCounts {
     pub mzim_active_cycles: u64,
     /// MZIM partition (re)configurations for compute.
     pub mzim_reconfigs: u64,
+    /// Individual MZI phase writes during compute programming (Flumen-A
+    /// only). Zero unless the control unit's program cache is enabled —
+    /// with incremental reprogramming, only phases that actually change are
+    /// driven and charged.
+    pub mzim_programmed_mzis: u64,
 }
 
 impl ActivityCounts {
@@ -61,6 +66,7 @@ impl ActivityCounts {
         self.mzim_output_samples += other.mzim_output_samples;
         self.mzim_active_cycles += other.mzim_active_cycles;
         self.mzim_reconfigs += other.mzim_reconfigs;
+        self.mzim_programmed_mzis += other.mzim_programmed_mzis;
     }
 }
 

@@ -22,8 +22,10 @@ use flumen_noc::{NetStats, Network, Packet};
 use flumen_trace::{TraceCategory, TraceEvent, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 
-/// Opaque request payload passed from a core to the external server.
-pub type ExternalPayload = [u64; 4];
+/// Opaque request payload passed from a core to the external server. For
+/// MZIM offloads the five words are `[configs, vectors, n, macs,
+/// matrix_key]` — see `flumen_workloads::offload_payload`.
+pub type ExternalPayload = [u64; 5];
 
 /// Completion record returned by [`ExternalServer::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -746,7 +748,7 @@ mod tests {
     fn external_rejection_runs_fallback() {
         let mut tasks = empty_tasks(4);
         tasks[1].push(CoreTask::External {
-            payload: [0; 4],
+            payload: [0; 5],
             fallback: vec![CoreTask::Compute { ops: 500 }],
         });
         let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
@@ -801,7 +803,7 @@ mod tests {
             writes: vec![],
         });
         tasks[1].push(CoreTask::External {
-            payload: [0; 4],
+            payload: [0; 5],
             fallback: vec![],
         });
         for t in tasks.iter_mut() {

@@ -57,7 +57,10 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "admit",
     "barrier_release",
     "cache_hit",
+    "compute.program_cache_hit",
+    "compute.program_cache_miss",
     "defer",
+    "incremental_reprogram_mzis",
     "l2_miss",
     "l3_miss",
     "link_busy",

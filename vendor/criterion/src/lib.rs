@@ -42,6 +42,19 @@ impl BenchmarkId {
     }
 }
 
+/// One recorded benchmark measurement (`group/id` label + median time).
+///
+/// Real criterion persists measurements under `target/criterion/`; the
+/// stand-in instead exposes them programmatically so callers (the
+/// `bench_perf` trajectory binary) can serialize their own reports.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/benchmark` label.
+    pub name: String,
+    /// Median per-iteration wall time.
+    pub median: Duration,
+}
+
 /// Drives the timed closure of one benchmark.
 pub struct Bencher {
     samples: usize,
@@ -92,6 +105,10 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: median {:?}",
             self.name, id.name, b.last_median
         );
+        self.criterion.results.push(BenchResult {
+            name: format!("{}/{}", self.name, id.name),
+            median: b.last_median,
+        });
         self
     }
 
@@ -111,6 +128,10 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: median {:?}",
             self.name, id.name, b.last_median
         );
+        self.criterion.results.push(BenchResult {
+            name: format!("{}/{}", self.name, id.name),
+            median: b.last_median,
+        });
         self
     }
 
@@ -131,6 +152,8 @@ pub struct Criterion {
     /// One sample per benchmark (set when run outside `cargo bench`, e.g.
     /// smoke-testing the bench binaries).
     smoke: bool,
+    /// Every measurement taken so far, in run order.
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -139,11 +162,35 @@ impl Default for Criterion {
         // distinguishes "run fast" smoke mode, requested via --test or env.
         let smoke = std::env::args().any(|a| a == "--test")
             || std::env::var_os("CRITERION_SMOKE").is_some();
-        Criterion { smoke }
+        Criterion::with_smoke(smoke)
     }
 }
 
 impl Criterion {
+    /// Builds an entry point with smoke mode set explicitly (bypassing
+    /// the `--test`/`CRITERION_SMOKE` detection of `default`).
+    pub fn with_smoke(smoke: bool) -> Self {
+        Criterion {
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether benchmarks run one sample each (smoke mode).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Measurements recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drains the recorded measurements.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
     /// Opens a benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = 20;
@@ -162,6 +209,10 @@ impl Criterion {
         };
         f(&mut b);
         println!("bench {name}: median {:?}", b.last_median);
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median: b.last_median,
+        });
         self
     }
 }
@@ -205,7 +256,11 @@ mod tests {
 
     #[test]
     fn groups_run_to_completion() {
-        let mut c = Criterion { smoke: true };
+        let mut c = Criterion::with_smoke(true);
         sample_bench(&mut c);
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["smoke/sum", "smoke/scaled/4"]);
+        assert_eq!(c.take_results().len(), 2);
+        assert!(c.results().is_empty());
     }
 }
