@@ -112,11 +112,27 @@ pub fn run_sweep(name: &str, plan: &SweepPlan) -> SweepReport {
 /// through the parallel, cache-backed sweep engine.
 pub fn run_grid() -> Vec<FullRunResult> {
     let report = run_sweep("grid", &grid_plan());
-    report
+    let grid: Vec<FullRunResult> = report
         .results
         .iter()
         .map(|r| r.full_run().clone())
-        .collect()
+        .collect();
+    warn_truncated(&grid);
+    grid
+}
+
+/// Warns on stderr about any run that hit its cycle budget: a truncated
+/// run's counters describe an incomplete execution, so its rows in the
+/// printed tables must not be read as finished-benchmark numbers.
+pub fn warn_truncated(grid: &[FullRunResult]) {
+    for r in grid.iter().filter(|r| r.truncated) {
+        eprintln!(
+            "  [warn] {} on {} truncated at {} cycles — figures using this row are partial",
+            r.benchmark,
+            r.topology.name(),
+            r.cycles,
+        );
+    }
 }
 
 /// The distinct benchmark names of a grid, in first-appearance order

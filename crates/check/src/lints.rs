@@ -94,6 +94,8 @@ impl CheckConfig {
                 "core::scheduler".into(),
                 "photonics::fabric".into(),
                 "photonics::mesh".into(),
+                "sim::event".into(),
+                "sim::kernel".into(),
             ],
             unit_literal_exempt: vec![
                 "units".into(),

@@ -24,6 +24,7 @@
 
 use crate::scheduler::{admit, buffer_utilization, AdmissionOutcome, SchedulerParams};
 use flumen_noc::MzimCrossbar;
+use flumen_sim::EventQueue;
 use flumen_system::{ActivityCounts, ExternalOutcome, ExternalPayload, ExternalServer};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
 use flumen_units::Cycles;
@@ -118,7 +119,6 @@ struct CompRequest {
 #[derive(Debug, Clone)]
 struct ActivePartition {
     tag: u64,
-    remaining: f64,
     wires: Vec<usize>,
     ports: Vec<usize>,
 }
@@ -129,7 +129,12 @@ pub struct MzimControlUnit {
     params: ControlUnitParams,
     /// buff_comp: queued compute requests.
     queue: VecDeque<CompRequest>,
-    active: Vec<ActivePartition>,
+    /// Active partitions keyed by their completion deadline. The fractional
+    /// fabric cost is rounded up once at admission (a partition holding its
+    /// wires for `ceil(cost)` cycles is exactly what the old per-cycle
+    /// `remaining -= 1.0` loop computed), so replacing the scan with
+    /// scheduled wakeups is bit-identical.
+    active: EventQueue<ActivePartition>,
     /// Fabric wires currently reserved for compute.
     wire_busy: Vec<bool>,
     counts: ActivityCounts,
@@ -153,7 +158,7 @@ impl MzimControlUnit {
         MzimControlUnit {
             params,
             queue: VecDeque::new(),
-            active: Vec::new(),
+            active: EventQueue::new(),
             wire_busy: vec![false; n],
             counts: ActivityCounts::default(),
             finished: Vec::new(),
@@ -350,12 +355,15 @@ impl MzimControlUnit {
             self.counts.mzim_mvms += head.configs * head.vectors;
             self.counts.mzim_input_samples += head.configs * head.vectors * head.n;
             self.counts.mzim_output_samples += head.configs * head.vectors * head.n;
-            self.active.push(ActivePartition {
-                tag: head.tag,
-                remaining: cost + Cycles::new(params.arbitration_cycles).count_f64(),
-                wires,
-                ports,
-            });
+            let charged = cost + Cycles::new(params.arbitration_cycles).count_f64();
+            self.active.schedule(
+                Cycles::new(now + charged.ceil() as u64),
+                ActivePartition {
+                    tag: head.tag,
+                    wires,
+                    ports,
+                },
+            );
         }
     }
 }
@@ -388,36 +396,31 @@ impl ExternalServer<MzimCrossbar> for MzimControlUnit {
     }
 
     fn step(&mut self, now: u64, net: &mut MzimCrossbar) -> Vec<ExternalOutcome> {
-        // Advance active partitions.
+        // Advance active partitions. The busy-cycle count is charged before
+        // completions retire so the final cycle of a partition still counts
+        // as fabric-active (matching the old decrement-then-remove scan).
         if !self.active.is_empty() {
             self.counts.mzim_active_cycles += 1;
         }
-        let mut i = 0;
-        while i < self.active.len() {
-            self.active[i].remaining -= 1.0;
-            if self.active[i].remaining <= 0.0 {
-                let done = self.active.swap_remove(i);
-                for w in &done.wires {
-                    self.wire_busy[*w] = false;
-                    self.tracer.emit(|| {
-                        TraceEvent::new(
-                            TraceCategory::Scheduler,
-                            "partition",
-                            EventKind::AsyncEnd,
-                            now,
-                            *w as u32,
-                        )
-                        .with_id(done.tag)
-                    });
-                }
-                let _ = net.release_wires(&done.ports);
-                self.finished.push(ExternalOutcome {
-                    tag: done.tag,
-                    accepted: true,
+        while let Some(done) = self.active.pop_due(Cycles::new(now)) {
+            for w in &done.wires {
+                self.wire_busy[*w] = false;
+                self.tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Scheduler,
+                        "partition",
+                        EventKind::AsyncEnd,
+                        now,
+                        *w as u32,
+                    )
+                    .with_id(done.tag)
                 });
-            } else {
-                i += 1;
             }
+            let _ = net.release_wires(&done.ports);
+            self.finished.push(ExternalOutcome {
+                tag: done.tag,
+                accepted: true,
+            });
         }
         // Reject requests that arrive under crushing network pressure.
         if !self.queue.is_empty() {
@@ -728,6 +731,53 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_mid_service_resumes_bit_identically() {
+        use flumen_sim::Snapshotable;
+        let mut cu = cached_unit(2);
+        let mut net = net16();
+        // Background traffic keeps β (and therefore Algorithm 1's
+        // decisions) nontrivial across the checkpoint.
+        for src in 0..16 {
+            net.inject(Packet::new(src as u64, src, (src + 5) % 16, 2048, 0));
+        }
+        cu.on_request(0, 0, 2, 1, [20, 64, 4, 0, 42]);
+        cu.on_request(0, 4, 9, 2, [20, 64, 4, 0, 42]);
+        cu.on_request(0, 8, 5, 3, [4, 16, 4, 0, 7]);
+        let _ = drive(&mut cu, &mut net, 40);
+        let (cu_snap, net_snap) = (cu.snapshot(), net.snapshot());
+
+        let mut cu_b = cached_unit(2);
+        let mut net_b = net16();
+        cu_b.restore(&cu_snap).unwrap();
+        net_b.restore(&net_snap).unwrap();
+
+        let out_a = drive(&mut cu, &mut net, 3000);
+        let out_b = drive(&mut cu_b, &mut net_b, 3000);
+        assert_eq!(out_a, out_b);
+        assert_eq!(cu.admitted(), cu_b.admitted());
+        assert_eq!(cu.rejected(), cu_b.rejected());
+        assert_eq!(cu.program_cache_hits(), cu_b.program_cache_hits());
+        assert_eq!(cu.program_cache_misses(), cu_b.program_cache_misses());
+        assert_eq!(cu.snapshot().to_canonical(), cu_b.snapshot().to_canonical());
+        let mut ca = ActivityCounts::default();
+        let mut cb = ActivityCounts::default();
+        cu.drain_counts(&mut ca);
+        cu_b.drain_counts(&mut cb);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_fabric_width() {
+        use flumen_sim::Snapshotable;
+        let snap = unit().snapshot();
+        let mut narrow = MzimControlUnit::new(ControlUnitParams {
+            fabric_n: 4,
+            ..ControlUnitParams::paper()
+        });
+        assert!(narrow.restore(&snap).is_err());
+    }
+
+    #[test]
     fn timeout_rejects_stuck_requests() {
         let params = ControlUnitParams {
             scheduler: SchedulerParams {
@@ -743,5 +793,98 @@ mod tests {
         cu.on_request(0, 0, 2, 3, [4, 16, 4, 0, 0]);
         let outcomes = drive(&mut cu, &mut net, 200);
         assert!(outcomes.iter().any(|o| !o.accepted && o.tag == 3));
+    }
+}
+
+// JSON bridge (canonical serialized form; field names feed sweep job
+// hashes).
+flumen_sim::json_struct!(ControlUnitParams {
+    scheduler,
+    fabric_n,
+    chiplets_per_wire,
+    switch_cycles,
+    config_pipeline,
+    stream_cycles_per_batch,
+    compute_lambdas,
+    arbitration_cycles,
+    max_partitions,
+    program_cache_entries,
+});
+
+// Checkpoint bridges. `matrix_key` is a full-range content hash, so it
+// rides as hex; everything else fits f64's exact integers.
+impl flumen_sim::ToJson for CompRequest {
+    fn to_json(&self) -> flumen_sim::Json {
+        flumen_sim::Json::obj([
+            ("arrived", self.arrived.to_json()),
+            ("chiplet", self.chiplet.to_json()),
+            ("configs", self.configs.to_json()),
+            ("matrix_key", flumen_sim::json::u64_hex(self.matrix_key)),
+            ("n", self.n.to_json()),
+            ("tag", self.tag.to_json()),
+            ("vectors", self.vectors.to_json()),
+        ])
+    }
+}
+
+impl flumen_sim::FromJson for CompRequest {
+    fn from_json(j: &flumen_sim::Json) -> std::result::Result<Self, flumen_sim::JsonError> {
+        Ok(CompRequest {
+            tag: u64::from_json(j.get("tag")?)?,
+            chiplet: usize::from_json(j.get("chiplet")?)?,
+            configs: u64::from_json(j.get("configs")?)?,
+            vectors: u64::from_json(j.get("vectors")?)?,
+            n: u64::from_json(j.get("n")?)?,
+            matrix_key: flumen_sim::json::u64_from_hex(j.get("matrix_key")?)?,
+            arrived: u64::from_json(j.get("arrived")?)?,
+        })
+    }
+}
+
+flumen_sim::json_struct!(ActivePartition { ports, tag, wires });
+
+// Checkpoint support. Parameters and the tracer are reconstruction-time
+// state and not serialized; restore validates the wire count against the
+// already-configured instance. The program cache rides as hex (content
+// hashes use the full 64-bit range) in FIFO order.
+impl flumen_sim::Snapshotable for MzimControlUnit {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::{Json, ToJson};
+        let keys: Vec<u64> = self.cache_keys.iter().copied().collect();
+        Json::obj([
+            ("active", self.active.to_json()),
+            ("admitted", self.admitted.to_json()),
+            ("cache_keys", flumen_sim::json::u64s_hex(&keys)),
+            ("counts", self.counts.to_json()),
+            ("finished", self.finished.to_json()),
+            ("program_cache_hits", self.program_cache_hits.to_json()),
+            ("program_cache_misses", self.program_cache_misses.to_json()),
+            ("queue", self.queue.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("wire_busy", self.wire_busy.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> std::result::Result<(), flumen_sim::JsonError> {
+        use flumen_sim::{FromJson, JsonError};
+        let wire_busy = Vec::<bool>::from_json(j.get("wire_busy")?)?;
+        if wire_busy.len() != self.params.fabric_n {
+            return Err(JsonError(format!(
+                "MzimControlUnit.wire_busy: snapshot has {} wires, instance has {}",
+                wire_busy.len(),
+                self.params.fabric_n
+            )));
+        }
+        self.queue = VecDeque::from_json(j.get("queue")?)?;
+        self.active = EventQueue::from_json(j.get("active")?)?;
+        self.wire_busy = wire_busy;
+        self.counts = ActivityCounts::from_json(j.get("counts")?)?;
+        self.finished = Vec::from_json(j.get("finished")?)?;
+        self.admitted = j.get("admitted")?.as_u64()?;
+        self.rejected = j.get("rejected")?.as_u64()?;
+        self.cache_keys = flumen_sim::json::u64s_from_hex(j.get("cache_keys")?)?.into();
+        self.program_cache_hits = j.get("program_cache_hits")?.as_u64()?;
+        self.program_cache_misses = j.get("program_cache_misses")?.as_u64()?;
+        Ok(())
     }
 }

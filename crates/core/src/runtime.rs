@@ -5,10 +5,13 @@
 use crate::control_unit::{ControlUnitParams, MzimControlUnit};
 use flumen_noc::{CrossbarConfig, MzimCrossbar, NetStats, OpticalBus, RoutedNetwork};
 use flumen_power::{system_energy, EnergyBreakdown, EnergyParams, NopKind};
-use flumen_system::{ActivityCounts, NullServer, SystemConfig, SystemSim};
-use flumen_trace::TraceHandle;
+use flumen_sim::{Snapshot, Snapshotable};
+use flumen_system::{ActivityCounts, NullServer, RunResult, SystemConfig, SystemSim};
+use flumen_trace::{TraceCategory, TraceEvent, TraceHandle};
 use flumen_workloads::taskgen::{self, ExecMode, TaskGenConfig};
 use flumen_workloads::Benchmark;
+use std::io;
+use std::path::PathBuf;
 
 /// The five evaluated system configurations (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +127,11 @@ pub struct FullRunResult {
     pub cycles: u64,
     /// Runtime in seconds.
     pub seconds: f64,
+    /// Whether the run hit `max_cycles` before the system quiesced. A
+    /// truncated run's counters describe an incomplete execution; result
+    /// tables and sweep records flag it rather than silently reporting
+    /// the numbers as a finished benchmark.
+    pub truncated: bool,
     /// Activity counters.
     pub counts: ActivityCounts,
     /// Network statistics.
@@ -153,10 +161,10 @@ impl FullRunResult {
 
 /// Runs `bench` on `topology`.
 ///
-/// # Panics
-///
-/// Panics if the simulation exceeds `cfg.max_cycles` without finishing
-/// (indicates a deadlock or an undersized cycle budget).
+/// A simulation that exceeds `cfg.max_cycles` without quiescing (deadlock
+/// or an undersized cycle budget) returns with
+/// [`FullRunResult::truncated`] set instead of panicking; consumers decide
+/// whether a partial run is usable.
 pub fn run_benchmark(
     bench: &dyn Benchmark,
     topology: SystemTopology,
@@ -169,10 +177,6 @@ pub fn run_benchmark(
 /// the system engine, attached network and (for Flumen-A) the MZIM
 /// control unit all emit through `tracer`. With the disabled handle this
 /// is exactly [`run_benchmark`].
-///
-/// # Panics
-///
-/// Panics if the simulation exceeds `cfg.max_cycles` without finishing.
 pub fn run_benchmark_traced(
     bench: &dyn Benchmark,
     topology: SystemTopology,
@@ -186,7 +190,7 @@ pub fn run_benchmark_traced(
     let tasks = taskgen::generate(bench, &cfg.system, mode, &cfg.taskgen);
 
     let chiplets = cfg.system.chiplets;
-    let (cycles, counts, net_stats, trace) = match topology {
+    let r = match topology {
         SystemTopology::Ring => run_sim(
             RoutedNetwork::new(
                 flumen_noc::RoutedTopology::Ring { nodes: chiplets },
@@ -232,19 +236,23 @@ pub fn run_benchmark_traced(
             let mut sim = SystemSim::new(cfg.system.clone(), net, server, tasks);
             sim.set_tracer(tracer);
             sim.set_trace_interval(cfg.trace_interval);
-            let r = sim.run(cfg.max_cycles);
-            assert!(
-                r.cycles < cfg.max_cycles,
-                "simulation did not finish within the cycle budget"
-            );
-            (r.cycles, r.counts, r.net_stats, r.utilization_trace)
+            sim.run(cfg.max_cycles)
         }
     };
 
-    let seconds = cfg.system.cycles_to_seconds(cycles);
+    finish_result(bench, topology, cfg, r)
+}
+
+fn finish_result(
+    bench: &dyn Benchmark,
+    topology: SystemTopology,
+    cfg: &RuntimeConfig,
+    r: RunResult,
+) -> FullRunResult {
+    let seconds = cfg.system.cycles_to_seconds(r.cycles);
     let energy = system_energy(
-        &counts,
-        &net_stats,
+        &r.counts,
+        &r.net_stats,
         seconds,
         cfg.system.cores,
         topology.nop_kind(),
@@ -253,12 +261,13 @@ pub fn run_benchmark_traced(
     FullRunResult {
         topology,
         benchmark: bench.name().to_string(),
-        cycles,
+        cycles: r.cycles,
         seconds,
-        counts,
-        net_stats,
+        truncated: r.truncated,
+        counts: r.counts,
+        net_stats: r.net_stats,
         energy,
-        utilization_trace: trace,
+        utilization_trace: r.utilization_trace,
     }
 }
 
@@ -267,16 +276,11 @@ fn run_sim<N: flumen_noc::Network>(
     cfg: &RuntimeConfig,
     tasks: Vec<Vec<flumen_system::CoreTask>>,
     tracer: TraceHandle,
-) -> (u64, ActivityCounts, NetStats, Vec<f64>) {
+) -> RunResult {
     let mut sim = SystemSim::new(cfg.system.clone(), net, NullServer::default(), tasks);
     sim.set_tracer(tracer);
     sim.set_trace_interval(cfg.trace_interval);
-    let r = sim.run(cfg.max_cycles);
-    assert!(
-        r.cycles < cfg.max_cycles,
-        "simulation did not finish within the cycle budget"
-    );
-    (r.cycles, r.counts, r.net_stats, r.utilization_trace)
+    sim.run(cfg.max_cycles)
 }
 
 /// Runs a benchmark on a photonic crossbar with a reduced wavelength count
@@ -315,10 +319,217 @@ pub fn run_utilization_trace(
         benchmark: bench.name().to_string(),
         cycles: r.cycles,
         seconds,
+        truncated: r.truncated,
         counts: r.counts,
         net_stats: r.net_stats,
         energy,
         utilization_trace: r.utilization_trace,
+    }
+}
+
+/// Where and how often a checkpointed run snapshots itself.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory the checkpoint files live in (created on demand).
+    pub dir: PathBuf,
+    /// Configuration fingerprint stamped into every envelope — typically
+    /// the sweep job's content hash, which commits to the full runtime
+    /// configuration. A checkpoint written under a different key (or
+    /// snapshot version) never restores.
+    pub key: String,
+    /// Snapshot interval in cycles (minimum 1).
+    pub every_cycles: u64,
+}
+
+/// Runs `bench` on `topology`, writing a checkpoint every
+/// `policy.every_cycles` cycles and resuming from the newest valid
+/// checkpoint if one exists. Completion deletes the job's checkpoints.
+///
+/// Checkpoints are written atomically (temp file + rename), so a run
+/// killed at any point — including mid-write — resumes from the last
+/// complete snapshot and produces bit-identical results to an
+/// uninterrupted run.
+pub fn run_benchmark_checkpointed(
+    bench: &dyn Benchmark,
+    topology: SystemTopology,
+    cfg: &RuntimeConfig,
+    policy: &CheckpointPolicy,
+    tracer: TraceHandle,
+) -> io::Result<FullRunResult> {
+    let mode = match topology {
+        SystemTopology::FlumenA => ExecMode::Offload,
+        _ => ExecMode::Local,
+    };
+    let tasks = taskgen::generate(bench, &cfg.system, mode, &cfg.taskgen);
+
+    let chiplets = cfg.system.chiplets;
+    let r = match topology {
+        SystemTopology::Ring => run_sim_checkpointed(
+            RoutedNetwork::new(
+                flumen_noc::RoutedTopology::Ring { nodes: chiplets },
+                flumen_noc::RoutedConfig::default(),
+            )
+            .expect("ring of ≥3 chiplets"),
+            NullServer::default(),
+            cfg,
+            tasks,
+            policy,
+            tracer.clone(),
+        )?,
+        SystemTopology::Mesh => {
+            let (w, h) = mesh_dims(chiplets);
+            run_sim_checkpointed(
+                RoutedNetwork::new(
+                    flumen_noc::RoutedTopology::Mesh {
+                        width: w,
+                        height: h,
+                    },
+                    flumen_noc::RoutedConfig::default(),
+                )
+                .expect("mesh of ≥2×2 chiplets"),
+                NullServer::default(),
+                cfg,
+                tasks,
+                policy,
+                tracer.clone(),
+            )?
+        }
+        SystemTopology::OptBus => run_sim_checkpointed(
+            OpticalBus::new(chiplets, flumen_noc::BusConfig::default()).expect("optbus"),
+            NullServer::default(),
+            cfg,
+            tasks,
+            policy,
+            tracer.clone(),
+        )?,
+        SystemTopology::FlumenI => run_sim_checkpointed(
+            MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar"),
+            NullServer::default(),
+            cfg,
+            tasks,
+            policy,
+            tracer.clone(),
+        )?,
+        SystemTopology::FlumenA => {
+            let mut server = MzimControlUnit::new(cfg.control.clone());
+            server.set_tracer(tracer.clone());
+            run_sim_checkpointed(
+                MzimCrossbar::new(chiplets, CrossbarConfig::default()).expect("crossbar"),
+                server,
+                cfg,
+                tasks,
+                policy,
+                tracer.clone(),
+            )?
+        }
+    };
+
+    Ok(finish_result(bench, topology, cfg, r))
+}
+
+fn run_sim_checkpointed<N, S>(
+    net: N,
+    server: S,
+    cfg: &RuntimeConfig,
+    tasks: Vec<Vec<flumen_system::CoreTask>>,
+    policy: &CheckpointPolicy,
+    tracer: TraceHandle,
+) -> io::Result<RunResult>
+where
+    N: flumen_noc::Network + Snapshotable,
+    S: flumen_system::ExternalServer<N> + Snapshotable,
+{
+    let mut sim = SystemSim::new(cfg.system.clone(), net, server, tasks);
+    sim.set_tracer(tracer.clone());
+    sim.set_trace_interval(cfg.trace_interval);
+
+    if let Some(snap) = policy.load_latest() {
+        sim.restore(&snap.state)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.0))?;
+        let now = sim.cycle();
+        tracer.emit(|| TraceEvent::instant(TraceCategory::System, "resume", now, 0));
+    }
+
+    // Step manually so the simulation can be snapshotted mid-flight; the
+    // final consuming `run` call finds the system already finished (or
+    // already out of budget) and only performs result finalization, so the
+    // outcome is identical to an uninterrupted `SystemSim::run`.
+    let every = policy.every_cycles.max(1);
+    while !sim.finished() && sim.cycle() < cfg.max_cycles {
+        sim.step();
+        let now = sim.cycle();
+        if now.is_multiple_of(every) && !sim.finished() && now < cfg.max_cycles {
+            policy.write(now, sim.snapshot())?;
+            tracer.emit(|| TraceEvent::instant(TraceCategory::System, "checkpoint", now, 0));
+        }
+    }
+    let result = sim.run(cfg.max_cycles);
+    policy.clear()?;
+    Ok(result)
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint file name: fixed-width decimal cycle so lexicographic
+    /// order is cycle order.
+    fn file(&self, cycle: u64) -> PathBuf {
+        self.dir.join(format!("{}.{cycle:020}.ckpt.json", self.key))
+    }
+
+    /// This job's checkpoint files, oldest first.
+    pub fn files(&self) -> Vec<PathBuf> {
+        let prefix = format!("{}.", self.key);
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".ckpt.json"))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+
+    /// The newest checkpoint whose envelope validates (version and key
+    /// match). Unreadable or foreign files are skipped, not fatal: a
+    /// half-written or stale checkpoint simply falls back to the previous
+    /// one (or a cold start).
+    pub fn load_latest(&self) -> Option<Snapshot> {
+        self.files().into_iter().rev().find_map(|path| {
+            let text = std::fs::read_to_string(&path).ok()?;
+            let j = flumen_sim::Json::parse(&text).ok()?;
+            Snapshot::from_json(&j, &self.key).ok()
+        })
+    }
+
+    /// Atomically writes component `state` captured at `cycle` as this
+    /// job's newest checkpoint, then prunes older ones.
+    pub fn write(&self, cycle: u64, state: flumen_sim::Json) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let snap = Snapshot::new(self.key.clone(), flumen_units::Cycles::new(cycle), state);
+        let path = self.file(cycle);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, snap.to_json().to_canonical())?;
+        std::fs::rename(&tmp, &path)?;
+        // Prune everything older: the file just renamed into place is
+        // complete, so earlier checkpoints only waste space.
+        for old in self.files() {
+            if old != path {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every checkpoint of this job (called on completion).
+    pub fn clear(&self) -> io::Result<()> {
+        for path in self.files() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
     }
 }
 
@@ -361,6 +572,74 @@ mod tests {
     }
 
     #[test]
+    fn truncation_is_surfaced_not_fatal() {
+        let cfg = RuntimeConfig {
+            max_cycles: 50,
+            ..RuntimeConfig::paper()
+        };
+        let r = run_benchmark(&Rotation3d::small(), SystemTopology::FlumenA, &cfg);
+        assert!(r.truncated);
+        assert_eq!(r.cycles, 50);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_identically() {
+        let cfg = RuntimeConfig {
+            max_cycles: 10_000_000,
+            ..RuntimeConfig::paper()
+        };
+        let bench = Rotation3d::small();
+        let dir = std::env::temp_dir().join(format!("flumen-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy {
+            dir: dir.clone(),
+            key: "job".into(),
+            every_cycles: 1000,
+        };
+        let reference = run_benchmark(&bench, SystemTopology::FlumenA, &cfg);
+
+        // Interrupted run: drive the same simulation partway by hand and
+        // leave its checkpoint on disk, as if the process died right after
+        // writing it.
+        {
+            let tasks = taskgen::generate(&bench, &cfg.system, ExecMode::Offload, &cfg.taskgen);
+            let net = MzimCrossbar::new(cfg.system.chiplets, CrossbarConfig::default()).unwrap();
+            let server = MzimControlUnit::new(cfg.control.clone());
+            let mut sim = SystemSim::new(cfg.system.clone(), net, server, tasks);
+            for _ in 0..reference.cycles / 2 {
+                sim.step();
+            }
+            assert!(!sim.finished(), "checkpoint must land mid-run");
+            policy.write(sim.cycle(), sim.snapshot()).unwrap();
+        }
+
+        let resumed = run_benchmark_checkpointed(
+            &bench,
+            SystemTopology::FlumenA,
+            &cfg,
+            &policy,
+            TraceHandle::disabled(),
+        )
+        .unwrap();
+        assert!(!resumed.truncated);
+        assert_eq!(resumed.cycles, reference.cycles);
+        assert_eq!(resumed.counts, reference.counts);
+        assert_eq!(resumed.seconds.to_bits(), reference.seconds.to_bits());
+        assert_eq!(
+            resumed.total_energy_j().to_bits(),
+            reference.total_energy_j().to_bits()
+        );
+        assert_eq!(resumed.net_stats.delivered, reference.net_stats.delivered);
+        assert_eq!(
+            resumed.net_stats.latency_sum,
+            reference.net_stats.latency_sum
+        );
+        // Completion removed the job's checkpoints.
+        assert!(policy.files().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn trace_interval_controls_sampling() {
         let mut cfg = RuntimeConfig {
             max_cycles: 10_000_000,
@@ -374,3 +653,43 @@ mod tests {
         assert!(!r1.utilization_trace.is_empty());
     }
 }
+
+// JSON bridges (canonical serialized form; field names feed sweep job
+// hashes and result files). Topologies serialize as their established
+// display names.
+impl flumen_sim::ToJson for SystemTopology {
+    fn to_json(&self) -> flumen_sim::Json {
+        flumen_sim::Json::Str(self.name().to_string())
+    }
+}
+
+impl flumen_sim::FromJson for SystemTopology {
+    fn from_json(j: &flumen_sim::Json) -> Result<Self, flumen_sim::JsonError> {
+        let name = j.as_str()?;
+        SystemTopology::all()
+            .into_iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| flumen_sim::JsonError(format!("unknown topology {name:?}")))
+    }
+}
+
+flumen_sim::json_struct!(RuntimeConfig {
+    system,
+    taskgen,
+    control,
+    energy,
+    max_cycles,
+    trace_interval
+});
+
+flumen_sim::json_struct!(FullRunResult {
+    topology,
+    benchmark,
+    cycles,
+    seconds,
+    truncated,
+    counts,
+    net_stats,
+    energy,
+    utilization_trace,
+});

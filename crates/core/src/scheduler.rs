@@ -202,3 +202,14 @@ mod tests {
         assert!(admit(buffer_utilization(&[1000; 4], 0.5, 16), &lax));
     }
 }
+
+// JSON bridge (canonical serialized form; field names feed sweep job
+// hashes).
+flumen_sim::json_struct!(SchedulerParams {
+    tau,
+    eta,
+    zeta,
+    buffer_capacity,
+    reject_beta,
+    max_wait
+});

@@ -211,6 +211,33 @@ impl Network for OpticalBus {
     }
 }
 
+// Checkpoint support. As with the crossbar, `in_flight` keeps its exact
+// Vec order because delivery scanning uses `swap_remove`.
+impl flumen_sim::Snapshotable for OpticalBus {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::ToJson;
+        flumen_sim::Json::obj([
+            ("bus_busy_until", self.bus_busy_until.to_json()),
+            ("cycle", self.cycle.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+            ("rr", self.rr.to_json()),
+            ("src_queues", self.src_queues.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> std::result::Result<(), flumen_sim::JsonError> {
+        use flumen_sim::FromJson;
+        self.bus_busy_until = Vec::from_json(j.get("bus_busy_until")?)?;
+        self.cycle = u64::from_json(j.get("cycle")?)?;
+        self.in_flight = Vec::from_json(j.get("in_flight")?)?;
+        self.rr = usize::from_json(j.get("rr")?)?;
+        self.src_queues = Vec::from_json(j.get("src_queues")?)?;
+        self.stats = NetStats::from_json(j.get("stats")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -340,6 +340,44 @@ impl Network for MzimCrossbar {
     }
 }
 
+// Checkpoint support: every field that evolves during simulation.
+// `in_flight` is serialized in its exact Vec order — the delivery loop
+// scans with `swap_remove`, so delivery order (and therefore downstream
+// RNG/stat sequences) depends on element positions, not just contents.
+impl flumen_sim::Snapshotable for MzimCrossbar {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::ToJson;
+        flumen_sim::Json::obj([
+            ("arb_priority", self.arb.priority().to_json()),
+            ("cycle", self.cycle.to_json()),
+            ("in_busy_until", self.in_busy_until.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+            ("last_config", self.last_config.to_json()),
+            ("mcast_queues", self.mcast_queues.to_json()),
+            ("out_busy_until", self.out_busy_until.to_json()),
+            ("reserved", self.reserved.to_json()),
+            ("stats", self.stats.to_json()),
+            ("voq", self.voq.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> std::result::Result<(), flumen_sim::JsonError> {
+        use flumen_sim::FromJson;
+        self.arb
+            .set_priority(usize::from_json(j.get("arb_priority")?)?);
+        self.cycle = u64::from_json(j.get("cycle")?)?;
+        self.in_busy_until = Vec::from_json(j.get("in_busy_until")?)?;
+        self.in_flight = Vec::from_json(j.get("in_flight")?)?;
+        self.last_config = Vec::from_json(j.get("last_config")?)?;
+        self.mcast_queues = Vec::from_json(j.get("mcast_queues")?)?;
+        self.out_busy_until = Vec::from_json(j.get("out_busy_until")?)?;
+        self.reserved = Vec::from_json(j.get("reserved")?)?;
+        self.stats = NetStats::from_json(j.get("stats")?)?;
+        self.voq = Vec::from_json(j.get("voq")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,10 +1,16 @@
 //! Measurement harness: warmup / measurement phases, latency-vs-load
 //! sweeps and saturation detection (regenerates paper Fig. 11).
+//!
+//! The cycle loops here run on the `flumen-sim` kernel: a synthetic-traffic
+//! driver implements [`flumen_sim::Component`] and the phase structure is
+//! the shared [`SimPhase`] enum rather than hand-rolled `for` loops. The
+//! RNG sequence is unchanged from the pre-kernel harness — one stream
+//! seeded from [`RunConfig::seed`] spans warmup and measurement — so every
+//! measured point is bit-identical to the legacy loops.
 
 use crate::traffic::{BernoulliInjector, TrafficPattern};
 use crate::{Network, Packet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flumen_sim::{run_phase, run_until, Clock, Component, Cycles, SimCtx, SimPhase};
 
 /// One measured operating point of a latency-load sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +57,25 @@ impl Default for RunConfig {
     }
 }
 
+/// A network under synthetic load: injects Bernoulli traffic each cycle,
+/// then steps the network. The kernel's shared [`SimCtx`] RNG drives
+/// destination and injection draws.
+struct TrafficDriver<'a, N: Network + ?Sized> {
+    net: &'a mut N,
+    inj: BernoulliInjector,
+    n: usize,
+}
+
+impl<N: Network + ?Sized> Component for TrafficDriver<'_, N> {
+    fn step(&mut self, now: Cycles, ctx: &mut SimCtx) {
+        for p in self.inj.generate(self.n, now.value(), &mut ctx.rng) {
+            self.net.inject(p);
+        }
+        self.net.step();
+    }
+    // Synthetic load never quiesces; phases are fixed windows.
+}
+
 /// Runs one offered-load point on a network.
 pub fn measure_point<N: Network + ?Sized>(
     net: &mut N,
@@ -59,32 +84,39 @@ pub fn measure_point<N: Network + ?Sized>(
     cfg: &RunConfig,
 ) -> LatencyPoint {
     let n = net.num_nodes();
-    let mut inj = BernoulliInjector::new(
-        offered_load,
-        cfg.packet_bits,
-        cfg.link_bits_per_cycle,
-        pattern,
+    let mut driver = TrafficDriver {
+        net,
+        inj: BernoulliInjector::new(
+            offered_load,
+            cfg.packet_bits,
+            cfg.link_bits_per_cycle,
+            pattern,
+        ),
+        n,
+    };
+    let mut ctx = SimCtx::new(cfg.seed);
+    let mut clock = Clock::new();
+
+    run_phase(
+        SimPhase::Warmup,
+        &mut driver,
+        &mut ctx,
+        &mut clock,
+        Cycles::new(cfg.warmup),
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    driver.net.stats_mut().reset();
+    let backlog_before = driver.net.pending();
 
-    for c in 0..cfg.warmup {
-        for p in inj.generate(n, c, &mut rng) {
-            net.inject(p);
-        }
-        net.step();
-    }
-    net.stats_mut().reset();
-    let backlog_before = net.pending();
+    run_phase(
+        SimPhase::Measure,
+        &mut driver,
+        &mut ctx,
+        &mut clock,
+        Cycles::new(cfg.measure),
+    );
 
-    for c in cfg.warmup..cfg.warmup + cfg.measure {
-        for p in inj.generate(n, c, &mut rng) {
-            net.inject(p);
-        }
-        net.step();
-    }
-
-    let stats = net.stats();
-    let backlog_after = net.pending();
+    let stats = driver.net.stats();
+    let backlog_after = driver.net.pending();
     // Saturated when the backlog grows materially over the measured window.
     let saturated = backlog_after > backlog_before + (n * 8) || stats.avg_latency().is_none();
     LatencyPoint {
@@ -116,20 +148,65 @@ where
         .collect()
 }
 
+/// A network with no new injections, counting deliveries as in-flight
+/// packets complete.
+struct DrainDriver<'a, N: Network + ?Sized> {
+    net: &'a mut N,
+    delivered: u64,
+}
+
+impl<N: Network + ?Sized> Component for DrainDriver<'_, N> {
+    fn step(&mut self, _now: Cycles, _ctx: &mut SimCtx) {
+        self.delivered += self.net.step().len() as u64;
+    }
+
+    fn done(&self, _now: Cycles) -> bool {
+        self.net.pending() == 0
+    }
+}
+
 /// Steps the network until it drains (no pending packets) or `max_cycles`
 /// elapse; returns the number of deliveries observed while draining.
 /// Conservation-style tests run this after their injection phase so every
 /// in-flight packet reaches its trace `AsyncEnd` before the stream is
 /// checked.
 pub fn drain<N: Network + ?Sized>(net: &mut N, max_cycles: u64) -> u64 {
-    let mut delivered = 0u64;
-    for _ in 0..max_cycles {
-        delivered += net.step().len() as u64;
-        if net.pending() == 0 {
-            break;
+    let mut driver = DrainDriver { net, delivered: 0 };
+    let mut ctx = SimCtx::new(0);
+    let mut clock = Clock::new();
+    run_phase(
+        SimPhase::Drain,
+        &mut driver,
+        &mut ctx,
+        &mut clock,
+        Cycles::new(max_cycles),
+    );
+    driver.delivered
+}
+
+/// A cycle-stamped packet schedule feeding a network: packets inject when
+/// the *network's* clock reaches their `created_at` (the network may have
+/// been pre-stepped, so its absolute cycle — not the kernel phase clock —
+/// is the reference).
+struct ScheduleDriver<'a, N: Network + ?Sized> {
+    net: &'a mut N,
+    schedule: Vec<Packet>,
+    next: usize,
+}
+
+impl<N: Network + ?Sized> Component for ScheduleDriver<'_, N> {
+    fn step(&mut self, _now: Cycles, _ctx: &mut SimCtx) {
+        let due = self.net.cycle();
+        while self.next < self.schedule.len() && self.schedule[self.next].created_at <= due {
+            self.net.inject(self.schedule[self.next].clone());
+            self.next += 1;
         }
+        self.net.step();
     }
-    delivered
+
+    fn done(&self, _now: Cycles) -> bool {
+        self.next >= self.schedule.len() && self.net.pending() == 0
+    }
 }
 
 /// Injects an explicit packet schedule (cycle-stamped) and runs until the
@@ -141,21 +218,34 @@ pub fn run_schedule<N: Network + ?Sized>(
     max_cycles: u64,
 ) -> u64 {
     schedule.sort_by_key(|p| p.created_at);
-    let mut next = 0usize;
-    let start = net.cycle();
-    while net.cycle() - start < max_cycles {
-        let now = net.cycle();
-        while next < schedule.len() && schedule[next].created_at <= now {
-            net.inject(schedule[next].clone());
-            next += 1;
-        }
-        net.step();
-        if next >= schedule.len() && net.pending() == 0 {
-            break;
-        }
-    }
-    net.cycle() - start
+    let mut driver = ScheduleDriver {
+        net,
+        schedule,
+        next: 0,
+    };
+    let mut ctx = SimCtx::new(0);
+    let mut clock = Clock::new();
+    let out = run_until(&mut driver, &mut ctx, &mut clock, Cycles::new(max_cycles));
+    out.cycles.value()
 }
+
+// JSON bridges (canonical serialized form; field names feed sweep job
+// hashes and result files).
+flumen_sim::json_struct!(RunConfig {
+    warmup,
+    measure,
+    packet_bits,
+    link_bits_per_cycle,
+    seed
+});
+
+flumen_sim::json_struct!(LatencyPoint {
+    offered_load,
+    avg_latency,
+    throughput,
+    link_utilization,
+    saturated
+});
 
 #[cfg(test)]
 mod tests {

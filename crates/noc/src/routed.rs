@@ -411,6 +411,69 @@ impl Network for RoutedNetwork {
     }
 }
 
+flumen_sim::json_struct!(TimedPkt { pkt, ready_at });
+flumen_sim::json_struct!(Router {
+    inputs,
+    out_busy_until,
+    rr
+});
+
+// Checkpoint support. `in_flight` entries are `(arrival, router, in_port,
+// pkt)`; the in-port is `usize::MAX` for ejections, beyond f64's exact
+// integer range, so it rides as hex. Vec order is preserved — the arrival
+// scan uses `swap_remove`, making delivery order position-dependent.
+impl flumen_sim::Snapshotable for RoutedNetwork {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::ToJson;
+        let in_flight = flumen_sim::Json::Arr(
+            self.in_flight
+                .iter()
+                .map(|(at, node, port, tp)| {
+                    flumen_sim::Json::Arr(vec![
+                        at.to_json(),
+                        node.to_json(),
+                        flumen_sim::json::u64_hex(*port as u64),
+                        tp.to_json(),
+                    ])
+                })
+                .collect(),
+        );
+        flumen_sim::Json::obj([
+            ("cycle", self.cycle.to_json()),
+            ("in_flight", in_flight),
+            ("routers", self.routers.to_json()),
+            ("src_queues", self.src_queues.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> std::result::Result<(), flumen_sim::JsonError> {
+        use flumen_sim::{FromJson, JsonError};
+        self.cycle = u64::from_json(j.get("cycle")?)?;
+        let mut in_flight = Vec::new();
+        for e in j.get("in_flight")?.as_arr()? {
+            let arr = e.as_arr()?;
+            let [at, node, port, tp] = arr else {
+                return Err(JsonError(format!(
+                    "RoutedNetwork.in_flight: expected 4 elements, got {}",
+                    arr.len()
+                )));
+            };
+            in_flight.push((
+                u64::from_json(at)?,
+                usize::from_json(node)?,
+                flumen_sim::json::u64_from_hex(port)? as usize,
+                TimedPkt::from_json(tp)?,
+            ));
+        }
+        self.in_flight = in_flight;
+        self.routers = Vec::from_json(j.get("routers")?)?;
+        self.src_queues = Vec::from_json(j.get("src_queues")?)?;
+        self.stats = NetStats::from_json(j.get("stats")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -230,3 +230,19 @@ mod tests {
         assert!((s.throughput(4) - 0.5).abs() < 1e-12);
     }
 }
+
+// JSON bridge (canonical serialized form; field names feed sweep job
+// hashes and snapshot state). Lives here rather than in `flumen-sweep`
+// because the orphan rule keeps trait impls with the type they describe.
+flumen_sim::json_struct!(NetStats {
+    injected,
+    delivered,
+    latency_sum,
+    latency_max,
+    latency_hist,
+    bits_injected,
+    bit_hops,
+    link_busy,
+    reconfigurations,
+    cycles,
+});

@@ -163,6 +163,23 @@ impl BernoulliInjector {
     }
 }
 
+// JSON bridge: patterns serialize as their established display names.
+impl flumen_sim::ToJson for TrafficPattern {
+    fn to_json(&self) -> flumen_sim::Json {
+        flumen_sim::Json::Str(self.name().to_string())
+    }
+}
+
+impl flumen_sim::FromJson for TrafficPattern {
+    fn from_json(j: &flumen_sim::Json) -> Result<Self, flumen_sim::JsonError> {
+        let name = j.as_str()?;
+        TrafficPattern::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| flumen_sim::JsonError(format!("unknown traffic pattern {name:?}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,17 @@ impl WavefrontArbiter {
         self.n
     }
 
+    /// Current priority-diagonal position (checkpoint state).
+    pub fn priority(&self) -> usize {
+        self.priority
+    }
+
+    /// Restores the priority diagonal from a checkpoint. Values are taken
+    /// modulo `n` so a foreign snapshot cannot put the arbiter out of range.
+    pub fn set_priority(&mut self, p: usize) {
+        self.priority = p % self.n.max(1);
+    }
+
     /// Computes a maximal-ish matching for the given request matrix.
     /// `requests[i]` lists the outputs input `i` wants (usually one — the
     /// head packet's destination). Returns `grants[i] = Some(output)`.

@@ -344,3 +344,35 @@ mod tests {
         assert!(accel.total_j() < baseline.total_j());
     }
 }
+
+// JSON bridges (canonical serialized form; field names feed sweep job
+// hashes and result files).
+flumen_sim::json_struct!(EnergyParams {
+    core_op_pj,
+    core_busy_pj,
+    l1_pj,
+    l2_pj,
+    l3_pj,
+    dram_pj,
+    mesh_bit_pj,
+    ring_bit_pj,
+    photonic_bit_pj,
+    elec_router_static_w,
+    optbus_static_w,
+    mzim_comm_static_w,
+    flumen_dacadc_static_w,
+    core_leak_w_per_core,
+    l3_leak_w,
+    dram_background_w,
+});
+
+flumen_sim::json_struct!(EnergyBreakdown {
+    core_j,
+    l1i_j,
+    l1d_j,
+    l2_j,
+    l3_j,
+    dram_j,
+    nop_j,
+    mzim_j
+});

@@ -1,8 +1,11 @@
 //! A small self-contained JSON value type with canonical serialization.
 //!
 //! crates.io (and therefore serde) is unreachable in the build
-//! environment, so the sweep engine carries its own serialization
-//! substrate. Two properties matter more here than generality:
+//! environment, so the simulation kernel carries its own serialization
+//! substrate. It serves two distinct consumers — `flumen-sweep` hashes
+//! canonical job specs with it, and [`crate::snapshot`] serializes live
+//! simulation state with it — so two properties matter more here than
+//! generality:
 //!
 //! * **Canonical output** — object keys are kept sorted ([`BTreeMap`])
 //!   and floats print in Rust's shortest-roundtrip form, so the same
@@ -13,8 +16,11 @@
 //!   the JSON5-style tokens `Infinity`/`-Infinity`/`NaN` and the parser
 //!   accepts them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
+use std::hash::Hash;
+
+use flumen_units::Picojoules;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -535,6 +541,153 @@ impl<T: FromJson, const N: usize> FromJson for [T; N] {
     }
 }
 
+impl<T: ToJson> ToJson for VecDeque<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for VecDeque<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let arr = j.as_arr()?;
+        let [a, b] = arr else {
+            return err(format!("expected 2-element array, got {}", arr.len()));
+        };
+        Ok((A::from_json(a)?, B::from_json(b)?))
+    }
+}
+
+// Hash maps serialize as a key-sorted array of `[key, value]` pairs so the
+// canonical text is independent of hasher iteration order — a requirement
+// for snapshot determinism (identical state must hash identically).
+impl<K: ToJson + Ord, V: ToJson> ToJson for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: FromJson + Eq + Hash, V: FromJson> FromJson for HashMap<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()?.iter().map(<(K, V)>::from_json).collect()
+    }
+}
+
+/// Serializes a full-range `u64` (content hashes, RNG words) as a
+/// fixed-width hex string. `Json::Num` holds an `f64` and silently loses
+/// bits past 2^53, which is fine for cycle counters but corrupts hashes.
+pub fn u64_hex(x: u64) -> Json {
+    Json::Str(format!("{x:016x}"))
+}
+
+/// Parses a [`u64_hex`]-encoded value.
+pub fn u64_from_hex(j: &Json) -> Result<u64, JsonError> {
+    u64::from_str_radix(j.as_str()?, 16).map_err(|e| JsonError(format!("bad hex u64: {e}")))
+}
+
+/// Serializes a slice of full-range `u64` values (addresses, hashes) as an
+/// array of fixed-width hex strings.
+pub fn u64s_hex(xs: &[u64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| u64_hex(x)).collect())
+}
+
+/// Parses an array written by [`u64s_hex`].
+///
+/// # Errors
+///
+/// Fails when the value is not an array of hex strings.
+pub fn u64s_from_hex(j: &Json) -> Result<Vec<u64>, JsonError> {
+    j.as_arr()?.iter().map(u64_from_hex).collect()
+}
+
+// Unit newtypes serialize as their raw numeric value: the canonical JSON
+// text (and therefore every content-addressed job hash) is identical to the
+// pre-`flumen-units` encoding. The unit lives in the *key* name (`_pj`
+// suffix), not the value.
+impl ToJson for Picojoules {
+    fn to_json(&self) -> Json {
+        Json::Num(self.value())
+    }
+}
+
+impl FromJson for Picojoules {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Picojoules::new(j.as_f64()?))
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a plain struct, field by field.
+///
+/// Exported so every crate can bridge the types *it* owns (the orphan rule
+/// keeps these impls next to the struct definitions, not centralized in one
+/// downstream crate). Deserialization errors name the full
+/// `Type.field: cause` path.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::obj([$(
+                    (stringify!($field), $crate::json::ToJson::to_json(&self.$field)),
+                )+])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                j: &$crate::json::Json,
+            ) -> ::core::result::Result<Self, $crate::json::JsonError> {
+                Ok($ty {
+                    $($field: j
+                        .get(stringify!($field))
+                        .and_then($crate::json::FromJson::from_json)
+                        .map_err(|e| {
+                            $crate::json::JsonError(format!(
+                                concat!(stringify!($ty), ".", stringify!($field), ": {}"),
+                                e
+                            ))
+                        })?,)+
+                })
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,5 +756,33 @@ mod tests {
         let s = "line\nwith \"quotes\" \\ tab\t and unicode λβ";
         let j = Json::Str(s.into());
         assert_eq!(Json::parse(&j.to_canonical()).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let dq: VecDeque<u64> = VecDeque::from(vec![3, 1, 2]);
+        let back: VecDeque<u64> = FromJson::from_json(&dq.to_json()).unwrap();
+        assert_eq!(back, dq);
+
+        let some: Option<u64> = Some(7);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_json(&some.to_json()).unwrap(), some);
+        assert_eq!(Option::<u64>::from_json(&none.to_json()).unwrap(), none);
+
+        let pair: (u64, bool) = (9, true);
+        assert_eq!(<(u64, bool)>::from_json(&pair.to_json()).unwrap(), pair);
+        assert!(<(u64, bool)>::from_json(&Json::Arr(vec![Json::Num(1.0)])).is_err());
+    }
+
+    #[test]
+    fn hash_maps_serialize_key_sorted() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        for k in [42u64, 7, 19, 3] {
+            m.insert(k, k * 10);
+        }
+        let text = m.to_json().to_canonical();
+        assert_eq!(text, "[[3,30],[7,70],[19,190],[42,420]]");
+        let back: HashMap<u64, u64> = FromJson::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
     }
 }

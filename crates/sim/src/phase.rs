@@ -1,0 +1,45 @@
+//! Named run phases shared by every harness.
+//!
+//! The NoC latency harness and the system engine used to carry private
+//! copies of the same warmup / measure / drain structure; this enum is the
+//! single definition both now drive their loops with.
+
+/// A phase of a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimPhase {
+    /// Pre-measurement cycles that fill pipelines and queues; statistics
+    /// gathered here are discarded (reset at the warmup→measure edge).
+    Warmup,
+    /// The measured window all reported statistics come from.
+    Measure,
+    /// Post-measurement cycles that let in-flight work complete without
+    /// new injections.
+    Drain,
+}
+
+impl SimPhase {
+    /// Stable lowercase name (trace args, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimPhase::Warmup => "warmup",
+            SimPhase::Measure => "measure",
+            SimPhase::Drain => "drain",
+        }
+    }
+
+    /// All phases in run order.
+    pub fn all() -> [SimPhase; 3] {
+        [SimPhase::Warmup, SimPhase::Measure, SimPhase::Drain]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_ordered() {
+        let names: Vec<&str> = SimPhase::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["warmup", "measure", "drain"]);
+    }
+}

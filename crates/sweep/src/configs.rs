@@ -1,253 +1,21 @@
-//! JSON bridges for the workspace's configuration and result types.
+//! Canonical-form tests for the workspace's configuration and result
+//! JSON bridges.
 //!
-//! These impls define the *canonical serialized form* of every parameter
-//! that feeds a job's content hash, so any field change — however small —
-//! produces a different hash and therefore a cache miss. Field names match
-//! the Rust struct fields one-to-one; enums serialize as their established
-//! display names (`SystemTopology::name()`, `TrafficPattern::name()`).
-//!
-//! `serde` itself cannot be used here: the build environment is offline
-//! (see `vendor/`), so the sweep crate carries its own minimal traits in
-//! [`crate::json`].
-
-use crate::json::{FromJson, Json, JsonError, ToJson};
-use flumen::scheduler::SchedulerParams;
-use flumen::{ControlUnitParams, FullRunResult, RuntimeConfig, SystemTopology};
-use flumen_noc::harness::{LatencyPoint, RunConfig};
-use flumen_noc::traffic::TrafficPattern;
-use flumen_noc::NetStats;
-use flumen_power::{EnergyBreakdown, EnergyParams};
-use flumen_system::{ActivityCounts, CacheConfig, SystemConfig};
-use flumen_units::Picojoules;
-use flumen_workloads::taskgen::TaskGenConfig;
-
-/// Implements `ToJson`/`FromJson` for a plain struct, field by field.
-macro_rules! json_struct {
-    ($ty:ident { $($field:ident),+ $(,)? }) => {
-        impl ToJson for $ty {
-            fn to_json(&self) -> Json {
-                Json::obj([$((stringify!($field), self.$field.to_json()),)+])
-            }
-        }
-        impl FromJson for $ty {
-            fn from_json(j: &Json) -> Result<Self, JsonError> {
-                Ok($ty {
-                    $($field: j.get(stringify!($field)).and_then(FromJson::from_json).map_err(|e| {
-                        JsonError(format!(
-                            concat!(stringify!($ty), ".", stringify!($field), ": {}"),
-                            e
-                        ))
-                    })?,)+
-                })
-            }
-        }
-    };
-}
-
-// Unit newtypes serialize as their raw numeric value: the canonical JSON
-// text (and therefore every content-addressed job hash) is identical to the
-// pre-`flumen-units` encoding. The unit lives in the *key* name (`_pj`
-// suffix), not the value.
-impl ToJson for Picojoules {
-    fn to_json(&self) -> Json {
-        Json::Num(self.value())
-    }
-}
-
-impl FromJson for Picojoules {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        Ok(Picojoules::new(j.as_f64()?))
-    }
-}
-
-impl ToJson for SystemTopology {
-    fn to_json(&self) -> Json {
-        Json::Str(self.name().to_string())
-    }
-}
-
-impl FromJson for SystemTopology {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        let name = j.as_str()?;
-        SystemTopology::all()
-            .into_iter()
-            .find(|t| t.name() == name)
-            .ok_or_else(|| JsonError(format!("unknown topology {name:?}")))
-    }
-}
-
-impl ToJson for TrafficPattern {
-    fn to_json(&self) -> Json {
-        Json::Str(self.name().to_string())
-    }
-}
-
-impl FromJson for TrafficPattern {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        let name = j.as_str()?;
-        TrafficPattern::all()
-            .into_iter()
-            .find(|p| p.name() == name)
-            .ok_or_else(|| JsonError(format!("unknown traffic pattern {name:?}")))
-    }
-}
-
-json_struct!(CacheConfig {
-    size_bytes,
-    line_bytes,
-    ways,
-    latency
-});
-
-json_struct!(SystemConfig {
-    cores,
-    chiplets,
-    freq_ghz,
-    ipc,
-    l1i,
-    l1d,
-    l2,
-    l3_slice,
-    dram_latency,
-    mlp,
-    req_bits,
-    reply_bits,
-});
-
-json_struct!(TaskGenConfig {
-    ops_per_mac,
-    unit_macs,
-    max_configs_per_request,
-    max_vectors_per_request,
-    svd_partition,
-    unitary_partition,
-});
-
-json_struct!(SchedulerParams {
-    tau,
-    eta,
-    zeta,
-    buffer_capacity,
-    reject_beta,
-    max_wait
-});
-
-json_struct!(ControlUnitParams {
-    scheduler,
-    fabric_n,
-    chiplets_per_wire,
-    switch_cycles,
-    config_pipeline,
-    stream_cycles_per_batch,
-    compute_lambdas,
-    arbitration_cycles,
-    max_partitions,
-    program_cache_entries,
-});
-
-json_struct!(EnergyParams {
-    core_op_pj,
-    core_busy_pj,
-    l1_pj,
-    l2_pj,
-    l3_pj,
-    dram_pj,
-    mesh_bit_pj,
-    ring_bit_pj,
-    photonic_bit_pj,
-    elec_router_static_w,
-    optbus_static_w,
-    mzim_comm_static_w,
-    flumen_dacadc_static_w,
-    core_leak_w_per_core,
-    l3_leak_w,
-    dram_background_w,
-});
-
-json_struct!(RuntimeConfig {
-    system,
-    taskgen,
-    control,
-    energy,
-    max_cycles,
-    trace_interval
-});
-
-json_struct!(RunConfig {
-    warmup,
-    measure,
-    packet_bits,
-    link_bits_per_cycle,
-    seed
-});
-
-json_struct!(ActivityCounts {
-    core_ops,
-    core_busy_cycles,
-    l1i_accesses,
-    l1d_accesses,
-    l1d_misses,
-    l2_accesses,
-    l2_misses,
-    l3_accesses,
-    l3_misses,
-    dram_accesses,
-    nop_packets,
-    offload_requests,
-    mzim_mvms,
-    mzim_input_samples,
-    mzim_output_samples,
-    mzim_active_cycles,
-    mzim_reconfigs,
-    mzim_programmed_mzis,
-});
-
-json_struct!(NetStats {
-    injected,
-    delivered,
-    latency_sum,
-    latency_max,
-    latency_hist,
-    bits_injected,
-    bit_hops,
-    link_busy,
-    reconfigurations,
-    cycles,
-});
-
-json_struct!(EnergyBreakdown {
-    core_j,
-    l1i_j,
-    l1d_j,
-    l2_j,
-    l3_j,
-    dram_j,
-    nop_j,
-    mzim_j
-});
-
-json_struct!(FullRunResult {
-    topology,
-    benchmark,
-    cycles,
-    seconds,
-    counts,
-    net_stats,
-    energy,
-    utilization_trace,
-});
-
-json_struct!(LatencyPoint {
-    offered_load,
-    avg_latency,
-    throughput,
-    link_utilization,
-    saturated
-});
+//! The `ToJson`/`FromJson` impls themselves live next to the types they
+//! serialize (e.g. `RuntimeConfig` in `flumen::runtime`, `NetStats` in
+//! `flumen_noc::stats`), where the checkpoint/resume machinery also needs
+//! them. What this module pins down is the property the *sweep* layer
+//! depends on: those bridges define the canonical serialized form of
+//! every parameter that feeds a job's content hash, so any field change —
+//! however small — produces a different hash and therefore a cache miss.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::json::{FromJson, Json, ToJson};
+    use flumen::scheduler::SchedulerParams;
+    use flumen::{RuntimeConfig, SystemTopology};
+    use flumen_noc::harness::LatencyPoint;
+    use flumen_noc::traffic::TrafficPattern;
 
     #[test]
     fn runtime_config_round_trips() {

@@ -11,6 +11,7 @@
 //! out to every position that requested them.
 
 use crate::cache::ResultCache;
+use crate::checkpoint::CheckpointStore;
 use crate::job::{JobResult, JobSpec};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent};
 use std::collections::HashMap;
@@ -69,11 +70,15 @@ pub struct SweepOptions {
     pub cache_dir: PathBuf,
     /// Per-job progress lines on stderr.
     pub verbose: bool,
+    /// Periodic simulator checkpointing for full-system jobs (`None` =
+    /// off). Interrupted jobs resume bit-identically on the next run.
+    pub checkpoint: Option<CheckpointStore>,
 }
 
 impl SweepOptions {
     /// Environment-driven defaults: `FLUMEN_SWEEP_THREADS` (default: all
-    /// available cores), `FLUMEN_SWEEP_FORCE=1` to bypass the cache, and
+    /// available cores), `FLUMEN_SWEEP_FORCE=1` to bypass the cache,
+    /// `FLUMEN_SWEEP_CHECKPOINT=<cycles>` to checkpoint long jobs, and
     /// the cache under [`ResultCache::default_dir`].
     pub fn from_env() -> Self {
         let threads = std::env::var("FLUMEN_SWEEP_THREADS")
@@ -93,6 +98,7 @@ impl SweepOptions {
             force,
             cache_dir: ResultCache::default_dir(),
             verbose: false,
+            checkpoint: CheckpointStore::from_env(),
         }
     }
 
@@ -103,6 +109,7 @@ impl SweepOptions {
             force: false,
             cache_dir: dir,
             verbose: false,
+            checkpoint: None,
         }
     }
 }
@@ -244,8 +251,9 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
                 }
                 let begin_us = t0.elapsed().as_micros() as u64;
                 let tj = Instant::now();
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.execute()));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    spec.execute_with(opts.checkpoint.as_ref())
+                }));
                 let wall = tj.elapsed().as_secs_f64() * 1e3;
                 let entry = match outcome {
                     Ok(result) => {

@@ -8,9 +8,12 @@
 //! execution deterministic: each job is self-contained, carries its own
 //! seed, and shares no mutable state with its siblings.
 
+use crate::checkpoint::CheckpointStore;
 use crate::hash::sha256_hex;
 use crate::json::{FromJson, Json, JsonError, ToJson};
-use flumen::{run_benchmark, FullRunResult, RuntimeConfig, SystemTopology};
+use flumen::{
+    run_benchmark, run_benchmark_checkpointed, FullRunResult, RuntimeConfig, SystemTopology,
+};
 use flumen_noc::harness::{measure_point, LatencyPoint, RunConfig};
 use flumen_noc::traffic::TrafficPattern;
 use flumen_noc::{
@@ -22,7 +25,7 @@ use flumen_workloads::{Benchmark, ImageBlur, Jpeg, ResnetConv3, Rotation3d, Vgg1
 /// Version salt mixed into every job hash. Bump this whenever simulator
 /// *code* changes in a result-affecting way that the serialized parameters
 /// don't capture — every cached result is then invalidated at once.
-pub const CODE_VERSION: &str = "flumen-sim-v1";
+pub const CODE_VERSION: &str = "flumen-sim-v2";
 
 /// Which benchmark kernel a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +321,19 @@ impl JobSpec {
     /// Runs the experiment to completion. Pure function of the spec:
     /// all randomness is seeded from fields hashed above.
     pub fn execute(&self) -> JobResult {
+        self.execute_with(None)
+    }
+
+    /// Like [`execute`](Self::execute), but full-system runs checkpoint
+    /// through `store` (keyed by this spec's content hash) and resume
+    /// from the newest valid checkpoint when one exists. Resumption is
+    /// bit-identical, so the result is cacheable under the same address
+    /// whether or not the run was interrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if checkpoint files cannot be read or written.
+    pub fn execute_with(&self, store: Option<&CheckpointStore>) -> JobResult {
         match self {
             JobSpec::FullRun {
                 bench,
@@ -325,7 +341,21 @@ impl JobSpec {
                 cfg,
             } => {
                 let workload = bench.instantiate();
-                JobResult::FullRun(run_benchmark(workload.as_ref(), *topology, cfg))
+                let r = match store {
+                    Some(store) => {
+                        let policy = store.policy_for(&self.content_hash());
+                        run_benchmark_checkpointed(
+                            workload.as_ref(),
+                            *topology,
+                            cfg,
+                            &policy,
+                            flumen_trace::TraceHandle::disabled(),
+                        )
+                        .expect("checkpoint I/O")
+                    }
+                    None => run_benchmark(workload.as_ref(), *topology, cfg),
+                };
+                JobResult::FullRun(r)
             }
             JobSpec::NocPoint {
                 net,

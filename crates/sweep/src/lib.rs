@@ -20,21 +20,27 @@
 //! manifest line for auditability.
 //!
 //! Environment knobs: `FLUMEN_SWEEP_THREADS` (worker count),
-//! `FLUMEN_SWEEP_FORCE=1` (bypass cache), `FLUMEN_DATA_DIR` (data and
-//! cache root).
+//! `FLUMEN_SWEEP_FORCE=1` (bypass cache), `FLUMEN_SWEEP_CHECKPOINT`
+//! (checkpoint interval in cycles for long full-system jobs),
+//! `FLUMEN_DATA_DIR` (data and cache root).
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod configs;
 pub mod exec;
 pub mod hash;
 pub mod job;
-pub mod json;
 pub mod metrics;
 pub mod sink;
 
+/// Canonical JSON (re-exported from `flumen-sim`, where it moved so
+/// simulation snapshots and job hashes share one canonical byte form).
+pub use flumen_sim::json;
+
 pub use cache::{CacheEntry, ResultCache};
+pub use checkpoint::CheckpointStore;
 pub use exec::{run_plan, JobRecord, SweepOptions, SweepPlan, SweepReport};
 pub use job::{BenchKind, BenchSize, BenchSpec, JobResult, JobSpec, NetSpec, CODE_VERSION};
 pub use json::{FromJson, Json, JsonError, ToJson};

@@ -17,7 +17,9 @@ use std::path::Path;
 /// result}` for every job in the report, in plan order. Full-system runs
 /// additionally carry a `metrics` object with unit-suffixed headline
 /// keys (`latency_ns`, `energy_pj`, `loss_db` — see
-/// [`crate::metrics::unit_metrics`]).
+/// [`crate::metrics::unit_metrics`]) and a top-level `truncated` flag so
+/// a run that hit its cycle budget is visible without digging into the
+/// result payload.
 ///
 /// # Panics
 ///
@@ -34,6 +36,7 @@ pub fn write_results_jsonl(path: &Path, plan: &SweepPlan, report: &SweepReport) 
         ];
         if let JobSpec::FullRun { cfg, .. } = spec {
             fields.push(("metrics", unit_metrics(result.full_run(), cfg)));
+            fields.push(("truncated", result.full_run().truncated.to_json()));
         }
         let line = Json::obj(fields);
         out.push_str(&line.to_canonical());

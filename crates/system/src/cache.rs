@@ -118,6 +118,77 @@ impl Cache {
     }
 }
 
+// Checkpoint support: contents (per-set `[tag, dirty]` pairs in LRU→MRU
+// order) plus statistics. Geometry (ways, line_shift, set_mask) is derived
+// from configuration and not serialized — restore validates the set count
+// against the already-constructed instance instead.
+impl flumen_sim::Snapshotable for Cache {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::{Json, ToJson};
+        let sets = Json::Arr(
+            self.sets
+                .iter()
+                .map(|s| {
+                    Json::Arr(
+                        s.iter()
+                            .map(|l| {
+                                Json::Arr(vec![flumen_sim::json::u64_hex(l.tag), l.dirty.to_json()])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("accesses", self.accesses.to_json()),
+            ("misses", self.misses.to_json()),
+            ("sets", sets),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> std::result::Result<(), flumen_sim::JsonError> {
+        use flumen_sim::JsonError;
+        let sets = j.get("sets")?.as_arr()?;
+        if sets.len() != self.sets.len() {
+            return Err(JsonError(format!(
+                "Cache.sets: snapshot has {} sets, instance has {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        let mut restored = Vec::with_capacity(sets.len());
+        for js in sets {
+            let lines = js.as_arr()?;
+            if lines.len() > self.ways {
+                return Err(JsonError(format!(
+                    "Cache.sets: {} lines exceed {} ways",
+                    lines.len(),
+                    self.ways
+                )));
+            }
+            let mut set = Vec::with_capacity(self.ways);
+            for jl in lines {
+                let pair = jl.as_arr()?;
+                let [tag, dirty] = pair else {
+                    return Err(JsonError(format!(
+                        "Cache line: expected [tag, dirty], got {} elements",
+                        pair.len()
+                    )));
+                };
+                set.push(Line {
+                    tag: flumen_sim::json::u64_from_hex(tag)?,
+                    dirty: dirty.as_bool()?,
+                });
+            }
+            restored.push(set);
+        }
+        self.sets = restored;
+        self.accesses = j.get("accesses")?.as_u64()?;
+        self.misses = j.get("misses")?.as_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +265,36 @@ mod tests {
         c.clear();
         assert_eq!(c.accesses, 0);
         assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn snapshot_restores_contents_and_lru_order() {
+        use flumen_sim::Snapshotable;
+        let mut c = small();
+        c.access(0, true);
+        c.access(256, false);
+        c.access(0, false); // line 0 becomes MRU again
+        let snap = c.snapshot();
+        let mut fresh = small();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.accesses, c.accesses);
+        assert_eq!(fresh.misses, c.misses);
+        // Both evict the same (LRU) victim and keep identical contents.
+        assert_eq!(c.access(512, false), fresh.access(512, false));
+        assert!(fresh.access(0, false).hit);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        use flumen_sim::Snapshotable;
+        let big = Cache::new(&CacheConfig {
+            size_bytes: 2048,
+            line_bytes: 64,
+            ways: 2,
+            latency: 1,
+        });
+        let mut c = small();
+        assert!(c.restore(&big.snapshot()).is_err());
     }
 
     #[test]

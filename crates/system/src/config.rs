@@ -170,3 +170,27 @@ mod tests {
         assert!((c.cycles_to_seconds(2_500_000_000) - 1.0).abs() < 1e-12);
     }
 }
+
+// JSON bridges (canonical serialized form; field names feed sweep job
+// hashes).
+flumen_sim::json_struct!(CacheConfig {
+    size_bytes,
+    line_bytes,
+    ways,
+    latency
+});
+
+flumen_sim::json_struct!(SystemConfig {
+    cores,
+    chiplets,
+    freq_ghz,
+    ipc,
+    l1i,
+    l1d,
+    l2,
+    l3_slice,
+    dram_latency,
+    mlp,
+    req_bits,
+    reply_bits,
+});

@@ -99,3 +99,25 @@ mod tests {
         assert_eq!(c.mzim_mvms, 0);
     }
 }
+
+// JSON bridge (canonical serialized form for sweep results and snapshots).
+flumen_sim::json_struct!(ActivityCounts {
+    core_ops,
+    core_busy_cycles,
+    l1i_accesses,
+    l1d_accesses,
+    l1d_misses,
+    l2_accesses,
+    l2_misses,
+    l3_accesses,
+    l3_misses,
+    dram_accesses,
+    nop_packets,
+    offload_requests,
+    mzim_mvms,
+    mzim_input_samples,
+    mzim_output_samples,
+    mzim_active_cycles,
+    mzim_reconfigs,
+    mzim_programmed_mzis,
+});

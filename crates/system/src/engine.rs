@@ -19,6 +19,7 @@ use crate::config::SystemConfig;
 use crate::counts::ActivityCounts;
 use crate::tasks::CoreTask;
 use flumen_noc::{NetStats, Network, Packet};
+use flumen_sim::{run_until, Clock, Component, Cycles, EventQueue, SimCtx, Snapshotable};
 use flumen_trace::{TraceCategory, TraceEvent, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 
@@ -137,6 +138,11 @@ struct ReqInfo {
 pub struct RunResult {
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Whether the run hit its cycle budget before the system quiesced.
+    /// A truncated run's counters describe an incomplete execution, so
+    /// downstream consumers (sweep results, figure tables) surface it
+    /// instead of silently treating the numbers as a finished benchmark.
+    pub truncated: bool,
     /// Activity counters for the energy model.
     pub counts: ActivityCounts,
     /// Final network statistics.
@@ -162,7 +168,8 @@ pub struct SystemSim<N: Network, S: ExternalServer<N>> {
     pending_requests: HashMap<u64, ReqInfo>,
     pending_replies: HashMap<u64, usize>,
     external_waiting: HashMap<u64, (usize, Vec<CoreTask>)>,
-    server_jobs: Vec<(u64, Packet)>,
+    /// Replies awaiting home-node service completion, ordered by deadline.
+    server_jobs: EventQueue<Packet>,
     barrier_counts: HashMap<u32, usize>,
     trace_interval: u64,
     trace: Vec<f64>,
@@ -213,7 +220,7 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             pending_requests: HashMap::new(),
             pending_replies: HashMap::new(),
             external_waiting: HashMap::new(),
-            server_jobs: Vec::new(),
+            server_jobs: EventQueue::new(),
             barrier_counts: HashMap::new(),
             trace_interval: 0,
             trace: Vec::new(),
@@ -265,15 +272,23 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
     }
 
     /// Runs until [`SystemSim::finished`] or `max_cycles`, returning the
-    /// result. Call once per constructed system.
+    /// result. Call once per constructed system (possibly after a
+    /// checkpoint [`Snapshotable::restore`], in which case the kernel clock
+    /// resumes from the restored cycle).
     pub fn run(mut self, max_cycles: u64) -> RunResult {
-        while !self.finished() && self.cycle < max_cycles {
-            self.step();
+        let mut ctx = SimCtx::new(0);
+        let mut clock = Clock::at(Cycles::new(self.cycle));
+        let out = run_until(&mut self, &mut ctx, &mut clock, Cycles::new(max_cycles));
+        if out.truncated {
+            let now = self.cycle;
+            self.tracer
+                .emit(|| TraceEvent::instant(TraceCategory::System, "truncated", now, 0));
         }
         let cycles = self.cycle;
         self.server.drain_counts(&mut self.counts);
         RunResult {
             cycles,
+            truncated: out.truncated,
             counts: self.counts,
             net_stats: self.net.stats().clone(),
             utilization_trace: self.trace,
@@ -307,16 +322,11 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             }
         }
 
-        // 3. Due server replies (home-node L3/DRAM service completion).
-        let mut j = 0;
-        while j < self.server_jobs.len() {
-            if self.server_jobs[j].0 <= now {
-                let (_, pkt) = self.server_jobs.swap_remove(j);
-                self.counts.nop_packets += 1;
-                self.net.inject(pkt);
-            } else {
-                j += 1;
-            }
+        // 3. Due server replies (home-node L3/DRAM service completion),
+        // injected in deterministic (deadline, FIFO) order.
+        while let Some(pkt) = self.server_jobs.pop_due(Cycles::new(now)) {
+            self.counts.nop_packets += 1;
+            self.net.inject(pkt);
         }
 
         // 4. Network.
@@ -595,7 +605,7 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                         Packet::new(pkt.tag, pkt.dst, info.src_chiplet, self.cfg.reply_bits, now);
                     reply.tag = pkt.tag;
                     self.pending_replies.insert(pkt.tag, info.requester_core);
-                    self.server_jobs.push((now + service, reply));
+                    self.server_jobs.schedule(Cycles::new(now + service), reply);
                 }
                 ReqKind::Custom {
                     server_cycles,
@@ -605,7 +615,8 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
                         Packet::new(pkt.tag, pkt.dst, info.src_chiplet, reply_bits, now);
                     reply.tag = pkt.tag;
                     self.pending_replies.insert(pkt.tag, info.requester_core);
-                    self.server_jobs.push((now + server_cycles, reply));
+                    self.server_jobs
+                        .schedule(Cycles::new(now + server_cycles), reply);
                 }
                 ReqKind::Writeback { addr } => {
                     self.l3_access(pkt.dst, addr, true);
@@ -628,6 +639,221 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
 enum AccessOutcome {
     Local(u64),
     Remote,
+}
+
+// The engine as a kernel component: it keeps its own `cycle` field (every
+// internal path reads it) and the kernel clock mirrors it one-for-one.
+impl<N: Network, S: ExternalServer<N>> Component for SystemSim<N, S> {
+    fn step(&mut self, now: Cycles, _ctx: &mut SimCtx) {
+        debug_assert_eq!(
+            now.value(),
+            self.cycle,
+            "kernel clock and engine cycle must agree"
+        );
+        self.step();
+    }
+
+    fn done(&self, _now: Cycles) -> bool {
+        self.finished()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint bridges for the engine's internal state. Byte addresses and
+// offload payload words use the full u64 range, so they ride as hex.
+
+impl flumen_sim::ToJson for StreamState {
+    fn to_json(&self) -> flumen_sim::Json {
+        use flumen_sim::{json::u64s_hex, Json};
+        Json::obj([
+            ("ops", self.ops.to_json()),
+            ("reads", u64s_hex(&self.reads)),
+            ("ri", self.ri.to_json()),
+            ("wi", self.wi.to_json()),
+            ("writes", u64s_hex(&self.writes)),
+        ])
+    }
+}
+
+impl flumen_sim::FromJson for StreamState {
+    fn from_json(j: &flumen_sim::Json) -> Result<Self, flumen_sim::JsonError> {
+        use flumen_sim::json::u64s_from_hex;
+        Ok(StreamState {
+            ops: u64::from_json(j.get("ops")?)?,
+            reads: u64s_from_hex(j.get("reads")?)?,
+            writes: u64s_from_hex(j.get("writes")?)?,
+            ri: usize::from_json(j.get("ri")?)?,
+            wi: usize::from_json(j.get("wi")?)?,
+        })
+    }
+}
+
+flumen_sim::json_struct!(CoreState {
+    barrier,
+    busy_until,
+    queue,
+    stream,
+    waiting
+});
+
+flumen_sim::json_struct!(ExternalOutcome { accepted, tag });
+
+impl flumen_sim::ToJson for ReqKind {
+    fn to_json(&self) -> flumen_sim::Json {
+        use flumen_sim::{json::u64_hex, Json};
+        match self {
+            ReqKind::RemoteLine { addr, write } => Json::obj([
+                ("kind", Json::Str("remote_line".into())),
+                ("addr", u64_hex(*addr)),
+                ("write", write.to_json()),
+            ]),
+            ReqKind::Custom {
+                server_cycles,
+                reply_bits,
+            } => Json::obj([
+                ("kind", Json::Str("custom".into())),
+                ("reply_bits", reply_bits.to_json()),
+                ("server_cycles", server_cycles.to_json()),
+            ]),
+            ReqKind::Writeback { addr } => Json::obj([
+                ("kind", Json::Str("writeback".into())),
+                ("addr", u64_hex(*addr)),
+            ]),
+        }
+    }
+}
+
+impl flumen_sim::FromJson for ReqKind {
+    fn from_json(j: &flumen_sim::Json) -> Result<Self, flumen_sim::JsonError> {
+        use flumen_sim::{json::u64_from_hex, JsonError};
+        Ok(match j.get("kind")?.as_str()? {
+            "remote_line" => ReqKind::RemoteLine {
+                addr: u64_from_hex(j.get("addr")?)?,
+                write: bool::from_json(j.get("write")?)?,
+            },
+            "custom" => ReqKind::Custom {
+                server_cycles: u64::from_json(j.get("server_cycles")?)?,
+                reply_bits: u32::from_json(j.get("reply_bits")?)?,
+            },
+            "writeback" => ReqKind::Writeback {
+                addr: u64_from_hex(j.get("addr")?)?,
+            },
+            other => return Err(JsonError(format!("ReqKind: unknown variant {other:?}"))),
+        })
+    }
+}
+
+// `requester_core` is `usize::MAX` for fire-and-forget writebacks —
+// outside f64's exact range, so it rides as hex.
+impl flumen_sim::ToJson for ReqInfo {
+    fn to_json(&self) -> flumen_sim::Json {
+        use flumen_sim::{json::u64_hex, Json};
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("requester_core", u64_hex(self.requester_core as u64)),
+            ("src_chiplet", self.src_chiplet.to_json()),
+        ])
+    }
+}
+
+impl flumen_sim::FromJson for ReqInfo {
+    fn from_json(j: &flumen_sim::Json) -> Result<Self, flumen_sim::JsonError> {
+        use flumen_sim::json::u64_from_hex;
+        Ok(ReqInfo {
+            kind: ReqKind::from_json(j.get("kind")?)?,
+            requester_core: u64_from_hex(j.get("requester_core")?)? as usize,
+            src_chiplet: usize::from_json(j.get("src_chiplet")?)?,
+        })
+    }
+}
+
+impl Snapshotable for NullServer {
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::{Json, ToJson};
+        Json::obj([("queue", self.queue.to_json())])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> Result<(), flumen_sim::JsonError> {
+        self.queue = flumen_sim::FromJson::from_json(j.get("queue")?)?;
+        Ok(())
+    }
+}
+
+fn caches_snapshot(caches: &[Cache]) -> flumen_sim::Json {
+    flumen_sim::Json::Arr(caches.iter().map(Snapshotable::snapshot).collect())
+}
+
+fn caches_restore(
+    caches: &mut [Cache],
+    j: &flumen_sim::Json,
+    what: &str,
+) -> Result<(), flumen_sim::JsonError> {
+    let arr = j.as_arr()?;
+    if arr.len() != caches.len() {
+        return Err(flumen_sim::JsonError(format!(
+            "{what}: snapshot has {} caches, instance has {}",
+            arr.len(),
+            caches.len()
+        )));
+    }
+    for (c, jc) in caches.iter_mut().zip(arr) {
+        c.restore(jc)?;
+    }
+    Ok(())
+}
+
+// Full-system checkpoints capture every field that evolves during
+// [`SystemSim::step`]. Configuration (`cfg`, `trace_interval`) and the
+// tracer are not serialized: restore happens onto a freshly constructed,
+// identically-configured instance whose remaining task queues are part of
+// the captured core state.
+impl<N, S> Snapshotable for SystemSim<N, S>
+where
+    N: Network + Snapshotable,
+    S: ExternalServer<N> + Snapshotable,
+{
+    fn snapshot(&self) -> flumen_sim::Json {
+        use flumen_sim::{Json, ToJson};
+        Json::obj([
+            ("barrier_counts", self.barrier_counts.to_json()),
+            ("cores", self.cores.to_json()),
+            ("counts", self.counts.to_json()),
+            ("cycle", self.cycle.to_json()),
+            ("external_waiting", self.external_waiting.to_json()),
+            ("l1d", caches_snapshot(&self.l1d)),
+            ("l2", caches_snapshot(&self.l2)),
+            ("l3", caches_snapshot(&self.l3)),
+            ("last_trace_busy", self.last_trace_busy.to_json()),
+            ("net", self.net.snapshot()),
+            ("next_tag", self.next_tag.to_json()),
+            ("pending_replies", self.pending_replies.to_json()),
+            ("pending_requests", self.pending_requests.to_json()),
+            ("server", self.server.snapshot()),
+            ("server_jobs", self.server_jobs.to_json()),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &flumen_sim::Json) -> Result<(), flumen_sim::JsonError> {
+        use flumen_sim::FromJson;
+        self.barrier_counts = HashMap::from_json(j.get("barrier_counts")?)?;
+        self.cores = Vec::from_json(j.get("cores")?)?;
+        self.counts = ActivityCounts::from_json(j.get("counts")?)?;
+        self.cycle = u64::from_json(j.get("cycle")?)?;
+        self.external_waiting = HashMap::from_json(j.get("external_waiting")?)?;
+        caches_restore(&mut self.l1d, j.get("l1d")?, "SystemSim.l1d")?;
+        caches_restore(&mut self.l2, j.get("l2")?, "SystemSim.l2")?;
+        caches_restore(&mut self.l3, j.get("l3")?, "SystemSim.l3")?;
+        self.last_trace_busy = u64::from_json(j.get("last_trace_busy")?)?;
+        self.net.restore(j.get("net")?)?;
+        self.next_tag = u64::from_json(j.get("next_tag")?)?;
+        self.pending_replies = HashMap::from_json(j.get("pending_replies")?)?;
+        self.pending_requests = HashMap::from_json(j.get("pending_requests")?)?;
+        self.server.restore(j.get("server")?)?;
+        self.server_jobs = EventQueue::from_json(j.get("server_jobs")?)?;
+        self.trace = Vec::from_json(j.get("trace")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -828,6 +1054,75 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e.category == TraceCategory::Noc && e.kind == EventKind::AsyncBegin));
+    }
+
+    #[test]
+    fn run_reports_truncation() {
+        let mut tasks = empty_tasks(4);
+        tasks[0].push(CoreTask::Compute { ops: 100_000 });
+        let sim = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks.clone());
+        let r = sim.run(100);
+        assert!(r.truncated, "cycle budget hit before quiescence");
+        assert_eq!(r.cycles, 100);
+        let sim2 = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), tasks);
+        let r2 = sim2.run(10_000_000);
+        assert!(!r2.truncated);
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identically() {
+        // Remote-homed traffic keeps the network, caches, pending maps and
+        // server-jobs queue all populated at the checkpoint.
+        let mk_tasks = || {
+            let mut tasks = empty_tasks(4);
+            let reads: Vec<u64> = (0..200u64).map(|i| 64 + i * 4 * 64).collect();
+            let writes: Vec<u64> = (0..120u64).map(|i| 128 + i * 4 * 64).collect();
+            tasks[0].push(CoreTask::Stream {
+                ops: 50,
+                reads,
+                writes,
+            });
+            tasks[1].push(CoreTask::NetRequest {
+                dst_chiplet: 3,
+                req_bits: 128,
+                reply_bits: 512,
+                server_cycles: 500,
+            });
+            for t in tasks.iter_mut() {
+                t.push(CoreTask::Barrier { id: 2 });
+                t.push(CoreTask::Compute { ops: 64 });
+            }
+            tasks
+        };
+        let mut a = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), mk_tasks());
+        a.set_trace_interval(50);
+        for _ in 0..150 {
+            a.step();
+        }
+        assert!(!a.finished(), "checkpoint must land mid-run");
+        let snap = a.snapshot();
+
+        let mut b = SystemSim::new(tiny_cfg(), net4(), NullServer::default(), mk_tasks());
+        b.set_trace_interval(50);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.cycle, a.cycle);
+
+        let mut guard = 0;
+        while !(a.finished() && b.finished()) {
+            assert_eq!(a.finished(), b.finished(), "divergence at {}", a.cycle);
+            a.step();
+            b.step();
+            guard += 1;
+            assert!(guard < 1_000_000, "runaway");
+        }
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.next_tag, b.next_tag);
+        let bits = |t: &[f64]| t.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.trace), bits(&b.trace));
+        assert_eq!(a.net.stats().delivered, b.net.stats().delivered);
+        assert_eq!(a.net.stats().latency_sum, b.net.stats().latency_sum);
+        assert_eq!(a.net.stats().link_busy, b.net.stats().link_busy);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "admit",
     "barrier_release",
     "cache_hit",
+    "checkpoint",
     "compute.program_cache_hit",
     "compute.program_cache_miss",
     "defer",
@@ -72,7 +73,9 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "reconfig",
     "reject",
     "request",
+    "resume",
     "timeout",
+    "truncated",
     "wire_release",
     "wire_reserve",
 ];

@@ -437,3 +437,14 @@ mod tests {
         }
     }
 }
+
+// JSON bridge (canonical serialized form; field names feed sweep job
+// hashes).
+flumen_sim::json_struct!(TaskGenConfig {
+    ops_per_mac,
+    unit_macs,
+    max_configs_per_request,
+    max_vectors_per_request,
+    svd_partition,
+    unitary_partition,
+});

@@ -199,6 +199,26 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for snapshot/restore of simulations
+        /// that must resume a random stream bit-identically mid-sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot. A
+        /// fully-zero state (the xoshiro fixed point) is nudged exactly as
+        /// in [`SeedableRng::from_seed`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0xDEAD_BEEF, 0xCAFE_F00D, 1, 2],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
