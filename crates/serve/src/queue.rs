@@ -1,0 +1,141 @@
+//! The bounded admission queue.
+//!
+//! This module is on the serving hot path (`flumen-check` forbids panics
+//! here): every arrival and every dispatch crosses it while the server is
+//! saturated, which is exactly when a panic would be most destructive.
+//! All capacity violations surface as values (`Result`/`Option`), never
+//! as unwinds.
+
+use crate::request::RequestClass;
+use flumen_units::Cycles;
+use std::collections::VecDeque;
+
+/// One request parked in the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queued {
+    /// Request id.
+    pub id: u64,
+    /// Arrival cycle (FIFO key; informational — order is positional).
+    pub arrival: Cycles,
+    /// Absolute expiry deadline, when the request's class has a timeout.
+    pub deadline: Option<Cycles>,
+    /// Payload class.
+    pub class: RequestClass,
+}
+
+/// A fixed-capacity FIFO of pending requests.
+///
+/// Capacity zero is legal and means "no queueing at all": every push is
+/// rejected, modelling a server that sheds whatever it cannot start
+/// immediately.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedQueue {
+    items: VecDeque<Queued>,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// An empty queue holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether another push would exceed capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Appends `q`, or returns it back when the queue is full.
+    pub fn push(&mut self, q: Queued) -> Result<(), Queued> {
+        if self.is_full() {
+            Err(q)
+        } else {
+            self.items.push_back(q);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<Queued> {
+        self.items.pop_front()
+    }
+
+    /// Removes and returns the newest entry.
+    pub fn pop_back(&mut self) -> Option<Queued> {
+        self.items.pop_back()
+    }
+
+    /// Removes the entry with the given id, wherever it sits (timeout
+    /// expiry). Linear scan — depth is bounded by configuration.
+    pub fn remove(&mut self, id: u64) -> Option<Queued> {
+        let idx = self.items.iter().position(|q| q.id == id)?;
+        self.items.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64) -> Queued {
+        Queued {
+            id,
+            arrival: Cycles::new(id),
+            deadline: None,
+            class: RequestClass::Traffic,
+        }
+    }
+
+    #[test]
+    fn fifo_with_capacity_bound() {
+        let mut bq = BoundedQueue::new(2);
+        assert!(bq.push(q(1)).is_ok());
+        assert!(bq.push(q(2)).is_ok());
+        assert!(bq.is_full());
+        let rejected = bq.push(q(3));
+        assert_eq!(rejected, Err(q(3)));
+        assert_eq!(bq.pop_front().map(|x| x.id), Some(1));
+        assert!(bq.push(q(4)).is_ok());
+        assert_eq!(bq.pop_front().map(|x| x.id), Some(2));
+        assert_eq!(bq.pop_front().map(|x| x.id), Some(4));
+        assert!(bq.pop_front().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut bq = BoundedQueue::new(0);
+        assert!(bq.is_full());
+        assert!(bq.push(q(1)).is_err());
+        assert!(bq.is_empty());
+    }
+
+    #[test]
+    fn remove_by_id_and_pop_back() {
+        let mut bq = BoundedQueue::new(8);
+        for id in 0..4 {
+            assert!(bq.push(q(id)).is_ok());
+        }
+        assert_eq!(bq.remove(2).map(|x| x.id), Some(2));
+        assert_eq!(bq.remove(2), None);
+        assert_eq!(bq.pop_back().map(|x| x.id), Some(3));
+        assert_eq!(bq.len(), 2);
+    }
+}

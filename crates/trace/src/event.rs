@@ -16,6 +16,8 @@ pub enum TraceCategory {
     System,
     /// Sweep-executor job timing (wall clock, not sim cycles).
     Sweep,
+    /// Request-driven serving subsystem (admission, queueing, workers).
+    Serve,
 }
 
 impl TraceCategory {
@@ -27,17 +29,19 @@ impl TraceCategory {
             TraceCategory::Core => "core",
             TraceCategory::System => "system",
             TraceCategory::Sweep => "sweep",
+            TraceCategory::Serve => "serve",
         }
     }
 
     /// All categories, in process-id order.
-    pub fn all() -> [TraceCategory; 5] {
+    pub fn all() -> [TraceCategory; 6] {
         [
             TraceCategory::Scheduler,
             TraceCategory::Noc,
             TraceCategory::Core,
             TraceCategory::System,
             TraceCategory::Sweep,
+            TraceCategory::Serve,
         ]
     }
 }
@@ -74,6 +78,14 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "reject",
     "request",
     "resume",
+    "serve::admit",
+    "serve::complete",
+    "serve::dispatch",
+    "serve::job",
+    "serve::queue_depth",
+    "serve::request",
+    "serve::shed",
+    "serve::timeout",
     "timeout",
     "truncated",
     "wire_release",
@@ -224,7 +236,7 @@ mod tests {
     fn category_names_are_distinct() {
         let names: std::collections::HashSet<&str> =
             TraceCategory::all().iter().map(|c| c.name()).collect();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

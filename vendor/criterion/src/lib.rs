@@ -53,6 +53,9 @@ pub struct BenchResult {
     pub name: String,
     /// Median per-iteration wall time.
     pub median: Duration,
+    /// Fastest per-iteration wall time — the noise-robust estimator for
+    /// "how fast can this code go" that regression gates compare.
+    pub min: Duration,
 }
 
 /// Drives the timed closure of one benchmark.
@@ -60,10 +63,12 @@ pub struct Bencher {
     samples: usize,
     /// Median per-iteration wall time of the last `iter` call.
     last_median: Duration,
+    /// Fastest per-iteration wall time of the last `iter` call.
+    last_min: Duration,
 }
 
 impl Bencher {
-    /// Times `routine`, once per sample, and records the median.
+    /// Times `routine`, once per sample, and records the median and min.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -73,6 +78,7 @@ impl Bencher {
         }
         times.sort_unstable();
         self.last_median = times[times.len() / 2];
+        self.last_min = times[0];
     }
 }
 
@@ -81,12 +87,22 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    min_samples: usize,
 }
 
 impl BenchmarkGroup<'_> {
     /// Overrides the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Floor on the sample count that holds even in smoke mode (which
+    /// otherwise takes a single sample). Groups whose results feed a
+    /// regression gate raise this so one noisy sample cannot flip the
+    /// verdict in CI.
+    pub fn min_samples(&mut self, n: usize) -> &mut Self {
+        self.min_samples = n.max(1);
         self
     }
 
@@ -99,6 +115,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: self.effective_samples(),
             last_median: Duration::ZERO,
+            last_min: Duration::ZERO,
         };
         f(&mut b);
         println!(
@@ -108,6 +125,7 @@ impl BenchmarkGroup<'_> {
         self.criterion.results.push(BenchResult {
             name: format!("{}/{}", self.name, id.name),
             median: b.last_median,
+            min: b.last_min,
         });
         self
     }
@@ -122,6 +140,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: self.effective_samples(),
             last_median: Duration::ZERO,
+            last_min: Duration::ZERO,
         };
         f(&mut b, input);
         println!(
@@ -131,6 +150,7 @@ impl BenchmarkGroup<'_> {
         self.criterion.results.push(BenchResult {
             name: format!("{}/{}", self.name, id.name),
             median: b.last_median,
+            min: b.last_min,
         });
         self
     }
@@ -140,9 +160,9 @@ impl BenchmarkGroup<'_> {
 
     fn effective_samples(&self) -> usize {
         if self.criterion.smoke {
-            1
+            self.min_samples
         } else {
-            self.sample_size
+            self.sample_size.max(self.min_samples)
         }
     }
 }
@@ -197,6 +217,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size,
+            min_samples: 1,
             criterion: self,
         }
     }
@@ -206,12 +227,14 @@ impl Criterion {
         let mut b = Bencher {
             samples: if self.smoke { 1 } else { 20 },
             last_median: Duration::ZERO,
+            last_min: Duration::ZERO,
         };
         f(&mut b);
         println!("bench {name}: median {:?}", b.last_median);
         self.results.push(BenchResult {
             name: name.to_string(),
             median: b.last_median,
+            min: b.last_min,
         });
         self
     }
