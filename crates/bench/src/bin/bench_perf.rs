@@ -6,9 +6,16 @@
 //!
 //! * **matmul** — the seed's indexed-write k-outer kernel (reimplemented
 //!   here as `naive_matmul`) vs the production slice-based `CMat::matmul`
-//!   / `matmul_into`, with the transposed-B `matmul_blocked` alternative
-//!   recorded alongside (it loses at mesh sizes: the dot-product
-//!   accumulator serializes the FP adds).
+//!   / `matmul_into`, plus the runtime-dispatched SIMD kernels
+//!   (`matmul/simd/{64,128,256}`, `CMat::matmul_simd[_into]`) on whatever
+//!   tier this CPU resolves. (The transposed-B `matmul_blocked` variant
+//!   was deleted: the paired gate showed it consistently below naive at
+//!   mesh sizes, and a losing kernel in the gate is noise.)
+//! * **mvm_batched** — the batched-MVM primitive at batch 1/8/64: each
+//!   round programs the fabric cold (`clear_program_cache` +
+//!   `set_partitions`) and streams the batch, so the row measures
+//!   1×programming + B×propagation and the per-vector cost shows the
+//!   amortization the power model splits the same way.
 //! * **decompose** — an embed-materializing Clements baseline (every 2×2
 //!   Givens rotation built as an `N×N` matrix and applied with the naive
 //!   kernel, the seed's cost profile) vs the in-place `clements::decompose`.
@@ -30,6 +37,7 @@ use flumen_photonics::clements;
 use flumen_photonics::{FlumenFabric, PartitionConfig};
 use flumen_sweep::{BenchSize, BenchSpec, JobSpec};
 use flumen_system::SystemConfig;
+use flumen_trace::{RecordingTracer, TraceCategory, TraceEvent};
 use flumen_workloads::taskgen::{generate, ExecMode, TaskGenConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,7 +109,7 @@ fn bench_matmul(c: &mut Criterion) {
     // The matmul rows feed the <0.95× regression gate, so even the CI
     // smoke run takes enough samples for a stable min-time estimate.
     group.min_samples(7);
-    for n in [16usize, 32, 64, 128] {
+    for n in [16usize, 32, 64, 128, 256] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let a = CMat::from_fn(n, n, |_, _| {
             C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
@@ -109,21 +117,67 @@ fn bench_matmul(c: &mut Criterion) {
         let b = CMat::from_fn(n, n, |_, _| {
             C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         });
-        // Both optimized kernels must stay bit-identical to the seed's.
+        // The optimized seed-order kernel must stay bit-identical to the
+        // seed's; the SIMD pair must be bit-identical to each other (their
+        // pinned-FMA contract vs the seed order is proptested in
+        // `flumen-linalg`'s kernel-equivalence harness).
         assert_eq!(naive_matmul(&a, &b), a.matmul(&b));
-        assert_eq!(naive_matmul(&a, &b), a.matmul_blocked(&b));
+        let simd = a.matmul_simd(&b);
+        let mut simd_into = CMat::zeros(n, n);
+        a.matmul_simd_into(&b, &mut simd_into);
+        assert_eq!(simd, simd_into);
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
             bch.iter(|| naive_matmul(&a, &b))
         });
         group.bench_with_input(BenchmarkId::new("k_outer", n), &n, |bch, _| {
             bch.iter(|| a.matmul(&b))
         });
-        group.bench_with_input(BenchmarkId::new("blocked_transposed", n), &n, |bch, _| {
-            bch.iter(|| a.matmul_blocked(&b))
-        });
         let mut out = CMat::zeros(n, n);
         group.bench_with_input(BenchmarkId::new("k_outer_into", n), &n, |bch, _| {
             bch.iter(|| a.matmul_into(&b, &mut out))
+        });
+        // SIMD rows at the sizes where the micro-kernel is the story
+        // (below n=64 the packed-B setup dominates).
+        if n >= 64 {
+            group.bench_with_input(BenchmarkId::new("simd", n), &n, |bch, _| {
+                bch.iter(|| a.matmul_simd(&b))
+            });
+            group.bench_with_input(BenchmarkId::new("simd_into", n), &n, |bch, _| {
+                bch.iter(|| a.matmul_simd_into(&b, &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The batched-MVM trajectory: each iteration programs the fabric cold
+/// and streams a `B`-vector batch through `compute_batch_in`, so the
+/// measured cost is exactly 1×programming + B×propagation. The derived
+/// per-vector ratio (batch-1 cost vs batch-64 cost / 64) is the
+/// wall-clock analogue of the power model's programming/propagation
+/// split, and the regression gate holds it at ≥ 5×.
+fn bench_mvm_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvm_batched");
+    group.sample_size(30);
+    group.min_samples(7);
+    let mut rng = StdRng::seed_from_u64(17);
+    let n = 8usize;
+    let m = RMat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let cfg = [
+        (n, PartitionConfig::Compute(&m)),
+        (n, PartitionConfig::Idle),
+    ];
+    let mut fab = FlumenFabric::new(2 * n).unwrap();
+    for batch in [1usize, 8, 64] {
+        let xs: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bch, _| {
+            bch.iter(|| {
+                fab.clear_program_cache();
+                fab.set_partitions(&cfg).unwrap();
+                criterion::black_box(fab.compute_batch_in(0, &xs).unwrap())
+            })
         });
     }
     group.finish();
@@ -250,7 +304,12 @@ fn matmul_regressions(quick: bool) -> Vec<(String, f64)> {
     // silently passing the gate.
     let below_floor = |ratio: f64| !(ratio.is_finite() && ratio >= MATMUL_REGRESSION_FLOOR);
     let rounds = if quick { 9 } else { 25 };
-    let variants = ["k_outer", "blocked_transposed", "k_outer_into"];
+    // The portable SIMD tier is a determinism fallback (bit-identical to
+    // the vector tiers, not fast); only hardware tiers are held to the
+    // perf floor. `FLUMEN_SIMD=0` CI legs therefore gate 2 variants.
+    let gate_simd = flumen_linalg::simd_backend().is_hardware();
+    let variants = ["k_outer", "k_outer_into", "simd"];
+    let gated = if gate_simd { 3 } else { 2 };
     let measure = |n: usize, rounds: usize| -> [f64; 3] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let a = CMat::from_fn(n, n, |_, _| {
@@ -275,10 +334,11 @@ fn matmul_regressions(quick: bool) -> Vec<(String, f64)> {
                     criterion::black_box(a.matmul(&b));
                 }),
                 time(&mut || {
-                    criterion::black_box(a.matmul_blocked(&b));
+                    a.matmul_into(&b, &mut out);
+                    criterion::black_box(&out);
                 }),
                 time(&mut || {
-                    a.matmul_into(&b, &mut out);
+                    a.matmul_simd_into(&b, &mut out);
                     criterion::black_box(&out);
                 }),
             ];
@@ -292,7 +352,7 @@ fn matmul_regressions(quick: bool) -> Vec<(String, f64)> {
     for n in [16usize, 32, 64, 128] {
         let first = measure(n, rounds);
         let mut confirm: Option<[f64; 3]> = None;
-        for (i, variant) in variants.iter().enumerate() {
+        for (i, variant) in variants.iter().enumerate().take(gated) {
             let mut ratio = first[i];
             if below_floor(ratio) {
                 let second = *confirm.get_or_insert_with(|| measure(n, rounds * 3));
@@ -310,6 +370,7 @@ fn main() {
     let quick = quick_mode();
     let mut c = Criterion::with_smoke(quick);
     bench_matmul(&mut c);
+    bench_mvm_batched(&mut c);
     bench_decompose(&mut c);
     bench_fabric_program(&mut c);
     bench_offload_taskgen(&mut c);
@@ -320,7 +381,27 @@ fn main() {
     let cold = median_nanos(&results, "fabric_program/cold");
     let hit = median_nanos(&results, "fabric_program/cache_hit");
     let cache_speedup = cold / hit;
-    let regressions = matmul_regressions(quick);
+    let mut regressions = matmul_regressions(quick);
+
+    // SIMD speedups vs naive (median/median). The n=128 point is the
+    // headline the roadmap asks for (≥4× on the full run with a hardware
+    // tier); all three land in `derived` so the trajectory is archived.
+    let simd_speedup = |n: usize| {
+        median_nanos(&results, &format!("matmul/naive/{n}"))
+            / median_nanos(&results, &format!("matmul/simd/{n}"))
+    };
+    let (simd_n64, simd_n128, simd_n256) = (simd_speedup(64), simd_speedup(128), simd_speedup(256));
+
+    // Batched-MVM amortization: cost of a batch-1 round (1×programming +
+    // 1×propagation) vs the per-vector cost at batch 64. Wall-clock
+    // analogue of the power model's programming/propagation split; gated
+    // at ≥5× (programming dominates a single propagation by far more).
+    let mvm_b1 = median_nanos(&results, "mvm_batched/1");
+    let mvm_b64_per_vec = median_nanos(&results, "mvm_batched/64") / 64.0;
+    let mvm_per_vec_speedup = mvm_b1 / mvm_b64_per_vec;
+    if !(mvm_per_vec_speedup.is_finite() && mvm_per_vec_speedup >= 5.0) {
+        regressions.push(("mvm_batched/per_vec_b64".into(), mvm_per_vec_speedup));
+    }
     let worst_ratio = regressions
         .iter()
         .map(|&(_, r)| r)
@@ -336,6 +417,10 @@ fn main() {
             median_nanos(&results, "matmul/naive/32")
                 / median_nanos(&results, "matmul/k_outer_into/32"),
         ),
+        ("matmul_speedup_n64", simd_n64),
+        ("matmul_speedup_n128", simd_n128),
+        ("matmul_speedup_n256", simd_n256),
+        ("mvm_batched_per_vec_speedup_b64", mvm_per_vec_speedup),
         (
             "decompose_speedup_n16",
             median_nanos(&results, "decompose/embed_baseline/16")
@@ -395,18 +480,54 @@ fn main() {
     for (k, v) in derived {
         println!("  {k}: {v:.3}");
     }
+
+    // Mirror the headline metrics onto the trace bus under the registered
+    // `perf::*` names so sweep tooling can overlay bench trajectories on
+    // simulation traces. `FLUMEN_BENCH_TRACE=<path>` archives them as
+    // canonical JSONL.
+    let rec = RecordingTracer::new();
+    let th = rec.handle();
+    for (n, s) in [(64u64, simd_n64), (128, simd_n128), (256, simd_n256)] {
+        th.emit(|| TraceEvent::counter(TraceCategory::Sweep, "perf::matmul", 0, 0, s).with_id(n));
+    }
+    for (b, per_vec) in [(1u64, mvm_b1), (64, mvm_b64_per_vec)] {
+        th.emit(|| {
+            TraceEvent::counter(TraceCategory::Sweep, "perf::mvm_batched", 0, 0, per_vec)
+                .with_id(b)
+                .with_arg("per_vec_speedup_b64", mvm_per_vec_speedup)
+        });
+    }
+    if let Ok(path) = std::env::var("FLUMEN_BENCH_TRACE") {
+        let mut buf = Vec::new();
+        flumen_trace::jsonl::write_jsonl(&mut buf, &rec.events()).expect("encode perf trace");
+        std::fs::write(&path, &buf).expect("write perf trace");
+        println!("  → wrote {path}");
+    }
+
     assert!(
         quick || cache_speedup >= 5.0,
         "program cache hit must be ≥5x faster than cold programming (got {cache_speedup:.2}x)"
     );
+    // Headline acceptance: on a hardware SIMD tier the full run must show
+    // the register-tiled kernel ≥4× over the seed kernel at mesh scale.
+    if !quick && flumen_linalg::simd_backend().is_hardware() {
+        assert!(
+            simd_n128 >= 4.0,
+            "SIMD matmul at n=128 must be ≥4x naive on a hardware tier (got {simd_n128:.2}x on {})",
+            flumen_linalg::simd_backend().name()
+        );
+    }
     if !regressions.is_empty() {
         for (name, ratio) in &regressions {
-            eprintln!(
-                "  REGRESSION {name}: {ratio:.3}x vs naive (floor {MATMUL_REGRESSION_FLOOR})"
-            );
+            let floor = if name.starts_with("mvm_batched/") {
+                5.0
+            } else {
+                MATMUL_REGRESSION_FLOOR
+            };
+            eprintln!("  REGRESSION {name}: {ratio:.3}x vs baseline (floor {floor})");
         }
         panic!(
-            "{} matmul variant(s) regressed below {MATMUL_REGRESSION_FLOOR}x naive (worst {worst_ratio:.3}x)",
+            "{} benchmark(s) regressed below their floor (worst {worst_ratio:.3}x)",
             regressions.len()
         );
     }

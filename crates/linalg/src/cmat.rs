@@ -123,6 +123,12 @@ impl CMat {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major storage (kernel-internal).
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// The conjugate transpose (adjoint) `A*`.
     pub fn adjoint(&self) -> CMat {
         CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
@@ -179,12 +185,6 @@ impl CMat {
         }
     }
 
-    /// Row/column tile edge for the blocked [`CMat::matmul_blocked`]
-    /// kernel. Chosen so one A-row tile plus one Bᵀ tile
-    /// (2 · 16 · 16 C64 = 8 KiB) stay resident in L1 across the inner dot
-    /// products.
-    const MATMUL_BLOCK: usize = 16;
-
     /// Matrix product `A·B`.
     ///
     /// Delegates to the allocation-reusing scratch-staged kernel of
@@ -204,85 +204,6 @@ impl CMat {
     pub fn matmul(&self, other: &CMat) -> CMat {
         let mut out = CMat::zeros(self.rows, other.cols);
         self.matmul_into(other, &mut out);
-        out
-    }
-
-    /// Matrix product `A·B` via a transposed-B, output-tiled kernel.
-    ///
-    /// Transposes `B` once so every inner dot product walks two contiguous
-    /// rows, and tiles the output in [`CMat::MATMUL_BLOCK`]-square blocks.
-    /// Four Bᵀ rows are folded per pass into four independent accumulator
-    /// chains, so the FP adds of neighboring output elements overlap
-    /// instead of serializing behind one `acc`. Bit-identical to
-    /// [`CMat::matmul`] (same ascending-`k` fold and zero-`A` skip per
-    /// output element); `bench_perf` tracks it against the k-outer kernel
-    /// in the `matmul/blocked_transposed` rows and gates every variant at
-    /// ≥0.95× the naive kernel, so this entry point dispatches to the
-    /// k-outer kernel below the size where transposing `B` amortizes.
-    ///
-    /// # Panics
-    ///
-    /// Panics on inner-dimension mismatch.
-    pub fn matmul_blocked(&self, other: &CMat) -> CMat {
-        assert_eq!(
-            self.cols, other.rows,
-            "inner dimensions do not match: {}×{} · {}×{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        // The O(k·n) transpose only pays for itself once B spills L1;
-        // below that the extra allocation + copy is pure overhead (the
-        // `matmul/blocked_transposed/16` bench row loses ~20% to naive
-        // without this dispatch). Both kernels are bit-identical, so the
-        // cutover is invisible in results.
-        if other.rows * other.cols < 32 * 32 {
-            return self.matmul(other);
-        }
-        let bt = other.transpose();
-        let mut out = CMat::zeros(self.rows, other.cols);
-        let (rows, cols, inner) = (self.rows, other.cols, self.cols);
-        for r0 in (0..rows).step_by(Self::MATMUL_BLOCK) {
-            let r1 = (r0 + Self::MATMUL_BLOCK).min(rows);
-            for c0 in (0..cols).step_by(Self::MATMUL_BLOCK) {
-                let c1 = (c0 + Self::MATMUL_BLOCK).min(cols);
-                for r in r0..r1 {
-                    let a_row = &self.data[r * inner..(r + 1) * inner];
-                    let o_row = &mut out.data[r * cols..(r + 1) * cols];
-                    // Four Bᵀ rows per pass: four independent accumulator
-                    // chains break the serial FP dependency of the single
-                    // `acc` fold that made this kernel lose to k-outer.
-                    let mut c = c0;
-                    while c + 4 <= c1 {
-                        let b0 = &bt.data[c * inner..(c + 1) * inner];
-                        let b1 = &bt.data[(c + 1) * inner..(c + 2) * inner];
-                        let b2 = &bt.data[(c + 2) * inner..(c + 3) * inner];
-                        let b3 = &bt.data[(c + 3) * inner..(c + 4) * inner];
-                        let mut acc = [C64::ZERO; 4];
-                        for (k, &a) in a_row.iter().enumerate() {
-                            if a == C64::ZERO {
-                                continue;
-                            }
-                            acc[0] += a * b0[k];
-                            acc[1] += a * b1[k];
-                            acc[2] += a * b2[k];
-                            acc[3] += a * b3[k];
-                        }
-                        o_row[c..c + 4].copy_from_slice(&acc);
-                        c += 4;
-                    }
-                    for (c, o) in o_row[..c1].iter_mut().enumerate().skip(c) {
-                        let b_row = &bt.data[c * inner..(c + 1) * inner];
-                        let mut acc = C64::ZERO;
-                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                            if a == C64::ZERO {
-                                continue;
-                            }
-                            acc += a * b;
-                        }
-                        *o = acc;
-                    }
-                }
-            }
-        }
         out
     }
 
@@ -649,26 +570,6 @@ mod tests {
         let mut out = CMat::zeros(3, 2);
         a.matmul_into(&b, &mut out);
         assert_eq!(out, a.matmul(&b));
-    }
-
-    #[test]
-    fn matmul_blocked_matches_matmul() {
-        // Rectangular shapes exercising partial tiles on every edge.
-        for (m, k, n) in [(3usize, 5usize, 2usize), (17, 16, 19), (33, 7, 16)] {
-            let a = CMat::from_fn(m, k, |r, c| C64::new((r * k + c) as f64 * 0.1, -(c as f64)));
-            let b = CMat::from_fn(k, n, |r, c| {
-                C64::new(c as f64 - 0.5, (r * n + c) as f64 * 0.2)
-            });
-            assert_eq!(a.matmul_blocked(&b), a.matmul(&b));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "inner dimensions")]
-    fn matmul_blocked_mismatch_panics() {
-        let a = CMat::zeros(2, 3);
-        let b = CMat::zeros(4, 2);
-        let _ = a.matmul_blocked(&b);
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! Runtime-dispatched SIMD dense matmul kernels.
+//!
+//! [`CMat::matmul_simd`] / [`CMat::matmul_simd_into`] are the wide-matrix
+//! fast path: a register-tiled micro-kernel (4-row panels over a packed,
+//! re/im-planar `B` layout) dispatched at runtime to AVX-512F, AVX2+FMA,
+//! or a portable 4-lane-array fallback — `core::arch` only, no external
+//! crates.
+//!
+//! # Numeric contract
+//!
+//! * **Pinned accumulation order.** Every output element is the
+//!   ascending-`k` fused-multiply-add chain, starting from `0.0`:
+//!
+//!   ```text
+//!   re ← fma(−a.im, b.im, re);  re ← fma(a.re, b.re, re)   // per k
+//!   im ← fma( a.im, b.re, im);  im ← fma(a.re, b.im, im)
+//!   ```
+//!
+//!   with **no** zero-`A` skip. SIMD lanes hold distinct output columns
+//!   and are never reduced horizontally, so vector width cannot change
+//!   any element's chain: the AVX-512, AVX2 and portable backends are
+//!   bit-identical to one another because IEEE-754 `fma` is exactly
+//!   rounded everywhere (`f64::mul_add` included). Result hashes are
+//!   therefore ISA-independent by construction — the kernel-equivalence
+//!   harness asserts exact equality across backends.
+//! * **Relation to [`CMat::matmul`].** The seed-order kernels round each
+//!   complex product before accumulating and skip exact-zero `A`
+//!   elements; the fused chain here saves one rounding per term. For
+//!   finite inputs the elementwise difference is bounded by
+//!   `≈ 4·n·ε · Σₖ(|a.re·b.re| + |a.im·b.im|)` (resp. the `im` sum) — a
+//!   couple of ULPs for well-conditioned data. For non-finite inputs, or
+//!   when a zero-`A` row would have suppressed an `∞`/`NaN` in `B`, the
+//!   two contracts may differ materially; `matmul_simd` is documented
+//!   as IEEE-propagating, not zero-skipping.
+//!
+//! # Dispatch
+//!
+//! The backend is resolved once per process by [`simd_backend`]:
+//! best-available by CPUID, overridable with `FLUMEN_SIMD` (`0` or
+//! `portable` forces the fallback; `avx2` / `avx512` force a tier when
+//! the CPU has it; anything else means "best available"). Because all
+//! backends are bit-identical, the override changes speed, never
+//! results.
+
+use crate::CMat;
+use std::sync::OnceLock;
+
+/// Vector backend [`CMat::matmul_simd`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// 8-lane `f64` kernels (`avx512f`).
+    Avx512,
+    /// 4-lane `f64` kernels (`avx2` + `fma`).
+    Avx2,
+    /// Portable 4-lane-array kernel over `f64::mul_add` (bit-identical
+    /// to the vector tiers; the determinism fallback, not a perf tier).
+    Portable,
+}
+
+impl SimdBackend {
+    /// Stable lower-case name (used in bench rows and trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Avx512 => "avx512",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Portable => "portable",
+        }
+    }
+
+    /// Whether this tier uses hardware vector FMA (the perf tiers the
+    /// bench regression gate holds to the naive-kernel floor).
+    pub fn is_hardware(self) -> bool {
+        self != SimdBackend::Portable
+    }
+}
+
+static BACKEND: OnceLock<SimdBackend> = OnceLock::new();
+
+/// The process-wide SIMD backend (CPUID + `FLUMEN_SIMD` override,
+/// resolved once and cached).
+pub fn simd_backend() -> SimdBackend {
+    *BACKEND.get_or_init(detect_backend)
+}
+
+fn detect_backend() -> SimdBackend {
+    match std::env::var("FLUMEN_SIMD").ok().as_deref() {
+        Some("0") | Some("portable") => return SimdBackend::Portable,
+        Some("avx2") => {
+            return if cpu_has_avx2() {
+                SimdBackend::Avx2
+            } else {
+                SimdBackend::Portable
+            }
+        }
+        Some("avx512") => {
+            return if cpu_has_avx512() {
+                SimdBackend::Avx512
+            } else if cpu_has_avx2() {
+                SimdBackend::Avx2
+            } else {
+                SimdBackend::Portable
+            }
+        }
+        _ => {}
+    }
+    if cpu_has_avx512() {
+        SimdBackend::Avx512
+    } else if cpu_has_avx2() {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Portable
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx2() -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx512() -> bool {
+    false
+}
+
+/// Rows per register panel: every micro-kernel accumulates a 4-row strip
+/// of output columns in registers across the whole `k` loop.
+const MR: usize = 4;
+
+/// Column padding of the packed-`B` planes — the widest lane count (one
+/// AVX-512 register), so every backend can load full vectors with no
+/// tail branch inside the `k` loop.
+const PAD: usize = 8;
+
+/// `B` repacked once per product into separate re/im planes (`kk` rows ×
+/// `cc` columns each, `cc` padded to [`PAD`] with zeros). Planar layout
+/// is what lets one broadcast `A` scalar drive pure-`f64` FMA lanes.
+struct PackedB {
+    cc: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+fn pack_b(b: &CMat) -> PackedB {
+    let (kk, cols) = (b.rows(), b.cols());
+    let cc = cols.div_ceil(PAD) * PAD;
+    let mut re = vec![0.0f64; kk * cc];
+    let mut im = vec![0.0f64; kk * cc];
+    let data = b.as_slice();
+    for k in 0..kk {
+        let row = &data[k * cols..(k + 1) * cols];
+        let (rre, rim) = (&mut re[k * cc..], &mut im[k * cc..]);
+        for (c, z) in row.iter().enumerate() {
+            rre[c] = z.re;
+            rim[c] = z.im;
+        }
+    }
+    PackedB { cc, re, im }
+}
+
+impl CMat {
+    /// Matrix product `A·B` through the runtime-dispatched SIMD kernel.
+    ///
+    /// Same shape rules as [`CMat::matmul`]; see the [module docs]
+    /// (`simd`) for the pinned fused accumulation order and how it may
+    /// differ from the seed-order kernels in the last ULPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_simd(&self, other: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows(), other.cols());
+        self.matmul_simd_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-light SIMD matrix product: `out ← A·B` (the packed-`B`
+    /// planes are still built per call; `out` is not).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_simd_into(&self, other: &CMat, out: &mut CMat) {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "inner dimensions do not match: {}×{} · {}×{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.rows(), other.cols()),
+            "output must be {}×{}, got {}×{}",
+            self.rows(),
+            other.cols(),
+            out.rows(),
+            out.cols()
+        );
+        let bp = pack_b(other);
+        let (rows, inner, cols) = (self.rows(), self.cols(), other.cols());
+        let a = self.as_slice();
+        match simd_backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch only selects these tiers after
+            // `is_x86_feature_detected!` confirmed the features.
+            SimdBackend::Avx512 => unsafe {
+                avx512::matmul(a, rows, inner, &bp, out.as_mut_slice(), cols)
+            },
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => unsafe {
+                avx2::matmul(a, rows, inner, &bp, out.as_mut_slice(), cols)
+            },
+            _ => portable::matmul(a, rows, inner, &bp, out.as_mut_slice(), cols),
+        }
+    }
+}
+
+/// The portable 4-lane-array kernel — the reference shape the vector
+/// tiers mirror. Each lane is one output column; the per-lane chain is
+/// exactly the module-level pinned order.
+mod portable {
+    use super::{PackedB, MR};
+    use crate::C64;
+
+    const LANES: usize = 4;
+
+    pub(super) fn matmul(
+        a: &[C64],
+        rows: usize,
+        inner: usize,
+        bp: &PackedB,
+        out: &mut [C64],
+        cols: usize,
+    ) {
+        let cc = bp.cc;
+        let mut c0 = 0usize;
+        while c0 < cols {
+            let live = (cols - c0).min(LANES);
+            for r0 in (0..rows).step_by(MR) {
+                let m = (rows - r0).min(MR);
+                let mut acc_re = [[0.0f64; LANES]; MR];
+                let mut acc_im = [[0.0f64; LANES]; MR];
+                for k in 0..inner {
+                    let bre = &bp.re[k * cc + c0..][..LANES];
+                    let bim = &bp.im[k * cc + c0..][..LANES];
+                    for r in 0..m {
+                        let av = a[(r0 + r) * inner + k];
+                        let (are, aim) = (av.re, av.im);
+                        for l in 0..LANES {
+                            acc_re[r][l] = (-aim).mul_add(bim[l], acc_re[r][l]);
+                            acc_re[r][l] = are.mul_add(bre[l], acc_re[r][l]);
+                            acc_im[r][l] = aim.mul_add(bre[l], acc_im[r][l]);
+                            acc_im[r][l] = are.mul_add(bim[l], acc_im[r][l]);
+                        }
+                    }
+                }
+                for r in 0..m {
+                    let orow = &mut out[(r0 + r) * cols + c0..];
+                    for l in 0..live {
+                        orow[l] = C64::new(acc_re[r][l], acc_im[r][l]);
+                    }
+                }
+            }
+            c0 += LANES;
+        }
+    }
+}
+
+/// AVX2+FMA tier: 4-row × 4-column (one `__m256d` pair per row) panels.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{PackedB, MR};
+    use crate::C64;
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4;
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matmul(
+        a: &[C64],
+        rows: usize,
+        inner: usize,
+        bp: &PackedB,
+        out: &mut [C64],
+        cols: usize,
+    ) {
+        let mut c0 = 0usize;
+        while c0 < cols {
+            let live = (cols - c0).min(LANES);
+            let mut r0 = 0usize;
+            while r0 + MR <= rows {
+                panel4(a, r0, inner, bp, c0, out, cols, live);
+                r0 += MR;
+            }
+            if r0 < rows {
+                panel_tail(a, r0, rows - r0, inner, bp, c0, out, cols, live);
+            }
+            c0 += LANES;
+        }
+    }
+
+    /// Hot path: 4 full rows, 8 named accumulator registers.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn panel4(
+        a: &[C64],
+        r0: usize,
+        inner: usize,
+        bp: &PackedB,
+        c0: usize,
+        out: &mut [C64],
+        cols: usize,
+        live: usize,
+    ) {
+        let cc = bp.cc;
+        let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
+        let ap = a.as_ptr();
+        let (a0, a1, a2, a3) = (
+            ap.add(r0 * inner),
+            ap.add((r0 + 1) * inner),
+            ap.add((r0 + 2) * inner),
+            ap.add((r0 + 3) * inner),
+        );
+        let mut re0 = _mm256_setzero_pd();
+        let mut re1 = _mm256_setzero_pd();
+        let mut re2 = _mm256_setzero_pd();
+        let mut re3 = _mm256_setzero_pd();
+        let mut im0 = _mm256_setzero_pd();
+        let mut im1 = _mm256_setzero_pd();
+        let mut im2 = _mm256_setzero_pd();
+        let mut im3 = _mm256_setzero_pd();
+        for k in 0..inner {
+            let bre = _mm256_loadu_pd(pre.add(k * cc + c0));
+            let bim = _mm256_loadu_pd(pim.add(k * cc + c0));
+            let (v0, v1, v2, v3) = (*a0.add(k), *a1.add(k), *a2.add(k), *a3.add(k));
+            let t = _mm256_set1_pd(v0.im);
+            re0 = _mm256_fnmadd_pd(t, bim, re0);
+            im0 = _mm256_fmadd_pd(t, bre, im0);
+            let t = _mm256_set1_pd(v0.re);
+            re0 = _mm256_fmadd_pd(t, bre, re0);
+            im0 = _mm256_fmadd_pd(t, bim, im0);
+            let t = _mm256_set1_pd(v1.im);
+            re1 = _mm256_fnmadd_pd(t, bim, re1);
+            im1 = _mm256_fmadd_pd(t, bre, im1);
+            let t = _mm256_set1_pd(v1.re);
+            re1 = _mm256_fmadd_pd(t, bre, re1);
+            im1 = _mm256_fmadd_pd(t, bim, im1);
+            let t = _mm256_set1_pd(v2.im);
+            re2 = _mm256_fnmadd_pd(t, bim, re2);
+            im2 = _mm256_fmadd_pd(t, bre, im2);
+            let t = _mm256_set1_pd(v2.re);
+            re2 = _mm256_fmadd_pd(t, bre, re2);
+            im2 = _mm256_fmadd_pd(t, bim, im2);
+            let t = _mm256_set1_pd(v3.im);
+            re3 = _mm256_fnmadd_pd(t, bim, re3);
+            im3 = _mm256_fmadd_pd(t, bre, im3);
+            let t = _mm256_set1_pd(v3.re);
+            re3 = _mm256_fmadd_pd(t, bre, re3);
+            im3 = _mm256_fmadd_pd(t, bim, im3);
+        }
+        store(re0, im0, &mut out[r0 * cols + c0..], live);
+        store(re1, im1, &mut out[(r0 + 1) * cols + c0..], live);
+        store(re2, im2, &mut out[(r0 + 2) * cols + c0..], live);
+        store(re3, im3, &mut out[(r0 + 3) * cols + c0..], live);
+    }
+
+    /// Remaining 1–3 rows: same chains through register arrays.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn panel_tail(
+        a: &[C64],
+        r0: usize,
+        m: usize,
+        inner: usize,
+        bp: &PackedB,
+        c0: usize,
+        out: &mut [C64],
+        cols: usize,
+        live: usize,
+    ) {
+        let cc = bp.cc;
+        let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
+        let mut re = [_mm256_setzero_pd(); MR];
+        let mut im = [_mm256_setzero_pd(); MR];
+        for k in 0..inner {
+            let bre = _mm256_loadu_pd(pre.add(k * cc + c0));
+            let bim = _mm256_loadu_pd(pim.add(k * cc + c0));
+            for r in 0..m {
+                let av = a[(r0 + r) * inner + k];
+                let t = _mm256_set1_pd(av.im);
+                re[r] = _mm256_fnmadd_pd(t, bim, re[r]);
+                im[r] = _mm256_fmadd_pd(t, bre, im[r]);
+                let t = _mm256_set1_pd(av.re);
+                re[r] = _mm256_fmadd_pd(t, bre, re[r]);
+                im[r] = _mm256_fmadd_pd(t, bim, im[r]);
+            }
+        }
+        for r in 0..m {
+            store(re[r], im[r], &mut out[(r0 + r) * cols + c0..], live);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn store(re: __m256d, im: __m256d, orow: &mut [C64], live: usize) {
+        let mut bre = [0.0f64; LANES];
+        let mut bim = [0.0f64; LANES];
+        _mm256_storeu_pd(bre.as_mut_ptr(), re);
+        _mm256_storeu_pd(bim.as_mut_ptr(), im);
+        for l in 0..live {
+            orow[l] = C64::new(bre[l], bim[l]);
+        }
+    }
+}
+
+/// AVX-512F tier: 4-row × 8-column (one `__m512d` pair per row) panels.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::{PackedB, MR};
+    use crate::C64;
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 8;
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn matmul(
+        a: &[C64],
+        rows: usize,
+        inner: usize,
+        bp: &PackedB,
+        out: &mut [C64],
+        cols: usize,
+    ) {
+        let mut c0 = 0usize;
+        while c0 < cols {
+            let live = (cols - c0).min(LANES);
+            let mut r0 = 0usize;
+            while r0 + MR <= rows {
+                panel4(a, r0, inner, bp, c0, out, cols, live);
+                r0 += MR;
+            }
+            if r0 < rows {
+                panel_tail(a, r0, rows - r0, inner, bp, c0, out, cols, live);
+            }
+            c0 += LANES;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn panel4(
+        a: &[C64],
+        r0: usize,
+        inner: usize,
+        bp: &PackedB,
+        c0: usize,
+        out: &mut [C64],
+        cols: usize,
+        live: usize,
+    ) {
+        let cc = bp.cc;
+        let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
+        let ap = a.as_ptr();
+        let (a0, a1, a2, a3) = (
+            ap.add(r0 * inner),
+            ap.add((r0 + 1) * inner),
+            ap.add((r0 + 2) * inner),
+            ap.add((r0 + 3) * inner),
+        );
+        let mut re0 = _mm512_setzero_pd();
+        let mut re1 = _mm512_setzero_pd();
+        let mut re2 = _mm512_setzero_pd();
+        let mut re3 = _mm512_setzero_pd();
+        let mut im0 = _mm512_setzero_pd();
+        let mut im1 = _mm512_setzero_pd();
+        let mut im2 = _mm512_setzero_pd();
+        let mut im3 = _mm512_setzero_pd();
+        for k in 0..inner {
+            let bre = _mm512_loadu_pd(pre.add(k * cc + c0));
+            let bim = _mm512_loadu_pd(pim.add(k * cc + c0));
+            let (v0, v1, v2, v3) = (*a0.add(k), *a1.add(k), *a2.add(k), *a3.add(k));
+            let t = _mm512_set1_pd(v0.im);
+            re0 = _mm512_fnmadd_pd(t, bim, re0);
+            im0 = _mm512_fmadd_pd(t, bre, im0);
+            let t = _mm512_set1_pd(v0.re);
+            re0 = _mm512_fmadd_pd(t, bre, re0);
+            im0 = _mm512_fmadd_pd(t, bim, im0);
+            let t = _mm512_set1_pd(v1.im);
+            re1 = _mm512_fnmadd_pd(t, bim, re1);
+            im1 = _mm512_fmadd_pd(t, bre, im1);
+            let t = _mm512_set1_pd(v1.re);
+            re1 = _mm512_fmadd_pd(t, bre, re1);
+            im1 = _mm512_fmadd_pd(t, bim, im1);
+            let t = _mm512_set1_pd(v2.im);
+            re2 = _mm512_fnmadd_pd(t, bim, re2);
+            im2 = _mm512_fmadd_pd(t, bre, im2);
+            let t = _mm512_set1_pd(v2.re);
+            re2 = _mm512_fmadd_pd(t, bre, re2);
+            im2 = _mm512_fmadd_pd(t, bim, im2);
+            let t = _mm512_set1_pd(v3.im);
+            re3 = _mm512_fnmadd_pd(t, bim, re3);
+            im3 = _mm512_fmadd_pd(t, bre, im3);
+            let t = _mm512_set1_pd(v3.re);
+            re3 = _mm512_fmadd_pd(t, bre, re3);
+            im3 = _mm512_fmadd_pd(t, bim, im3);
+        }
+        store(re0, im0, &mut out[r0 * cols + c0..], live);
+        store(re1, im1, &mut out[(r0 + 1) * cols + c0..], live);
+        store(re2, im2, &mut out[(r0 + 2) * cols + c0..], live);
+        store(re3, im3, &mut out[(r0 + 3) * cols + c0..], live);
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn panel_tail(
+        a: &[C64],
+        r0: usize,
+        m: usize,
+        inner: usize,
+        bp: &PackedB,
+        c0: usize,
+        out: &mut [C64],
+        cols: usize,
+        live: usize,
+    ) {
+        let cc = bp.cc;
+        let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
+        let mut re = [_mm512_setzero_pd(); MR];
+        let mut im = [_mm512_setzero_pd(); MR];
+        for k in 0..inner {
+            let bre = _mm512_loadu_pd(pre.add(k * cc + c0));
+            let bim = _mm512_loadu_pd(pim.add(k * cc + c0));
+            for r in 0..m {
+                let av = a[(r0 + r) * inner + k];
+                let t = _mm512_set1_pd(av.im);
+                re[r] = _mm512_fnmadd_pd(t, bim, re[r]);
+                im[r] = _mm512_fmadd_pd(t, bre, im[r]);
+                let t = _mm512_set1_pd(av.re);
+                re[r] = _mm512_fmadd_pd(t, bre, re[r]);
+                im[r] = _mm512_fmadd_pd(t, bim, im[r]);
+            }
+        }
+        for r in 0..m {
+            store(re[r], im[r], &mut out[(r0 + r) * cols + c0..], live);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn store(re: __m512d, im: __m512d, orow: &mut [C64], live: usize) {
+        let mut bre = [0.0f64; LANES];
+        let mut bim = [0.0f64; LANES];
+        _mm512_storeu_pd(bre.as_mut_ptr(), re);
+        _mm512_storeu_pd(bim.as_mut_ptr(), im);
+        for l in 0..live {
+            orow[l] = C64::new(bre[l], bim[l]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    /// Scalar restatement of the pinned chain, independent of every
+    /// kernel's loop structure.
+    fn pinned_reference(a: &CMat, b: &CMat) -> CMat {
+        CMat::from_fn(a.rows(), b.cols(), |r, c| {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for k in 0..a.cols() {
+                let av = a[(r, k)];
+                let bv = b[(k, c)];
+                re = (-av.im).mul_add(bv.im, re);
+                re = av.re.mul_add(bv.re, re);
+                im = av.im.mul_add(bv.re, im);
+                im = av.re.mul_add(bv.im, im);
+            }
+            C64::new(re, im)
+        })
+    }
+
+    fn cases() -> Vec<(CMat, CMat)> {
+        let mk = |m: usize, k: usize, n: usize, s: f64| {
+            (
+                CMat::from_fn(m, k, |r, c| {
+                    C64::new(((r * k + c) as f64).sin() * s, ((r + 3 * c) as f64).cos())
+                }),
+                CMat::from_fn(k, n, |r, c| {
+                    C64::new(((r + c * 7) as f64).cos(), ((r * n + c) as f64).sin() * s)
+                }),
+            )
+        };
+        vec![
+            mk(1, 1, 1, 1.0),
+            mk(3, 5, 2, 0.7),
+            mk(4, 4, 4, 1.3),
+            mk(7, 9, 11, 0.9),
+            mk(13, 16, 8, 1.1),
+            mk(16, 16, 16, 1.0),
+            mk(33, 17, 29, 0.8),
+        ]
+    }
+
+    #[test]
+    fn portable_matches_pinned_reference_bitwise() {
+        for (a, b) in cases() {
+            let mut out = CMat::zeros(a.rows(), b.cols());
+            let bp = pack_b(&b);
+            portable::matmul(
+                a.as_slice(),
+                a.rows(),
+                a.cols(),
+                &bp,
+                out.as_mut_slice(),
+                b.cols(),
+            );
+            assert_eq!(out, pinned_reference(&a, &b));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hardware_tiers_match_pinned_reference_bitwise() {
+        for (a, b) in cases() {
+            let reference = pinned_reference(&a, &b);
+            if cpu_has_avx2() {
+                let mut out = CMat::zeros(a.rows(), b.cols());
+                let bp = pack_b(&b);
+                // SAFETY: guarded by `cpu_has_avx2`.
+                unsafe {
+                    avx2::matmul(
+                        a.as_slice(),
+                        a.rows(),
+                        a.cols(),
+                        &bp,
+                        out.as_mut_slice(),
+                        b.cols(),
+                    );
+                }
+                assert_eq!(out, reference, "avx2 diverged from pinned order");
+            }
+            if cpu_has_avx512() {
+                let mut out = CMat::zeros(a.rows(), b.cols());
+                let bp = pack_b(&b);
+                // SAFETY: guarded by `cpu_has_avx512`.
+                unsafe {
+                    avx512::matmul(
+                        a.as_slice(),
+                        a.rows(),
+                        a.cols(),
+                        &bp,
+                        out.as_mut_slice(),
+                        b.cols(),
+                    );
+                }
+                assert_eq!(out, reference, "avx512 diverged from pinned order");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_entry_point_matches_reference() {
+        for (a, b) in cases() {
+            assert_eq!(a.matmul_simd(&b), pinned_reference(&a, &b));
+        }
+    }
+
+    #[test]
+    fn close_to_seed_order_on_finite_inputs() {
+        for (a, b) in cases() {
+            let seed = a.matmul(&b);
+            let fused = a.matmul_simd(&b);
+            let n = a.cols() as f64;
+            for r in 0..seed.rows() {
+                for c in 0..seed.cols() {
+                    // Elementwise bound: 4·n·ε against the absolute-
+                    // product sums of the two chains.
+                    let (mut sre, mut sim) = (0.0f64, 0.0f64);
+                    for k in 0..a.cols() {
+                        let (av, bv) = (a[(r, k)], b[(k, c)]);
+                        sre += (av.re * bv.re).abs() + (av.im * bv.im).abs();
+                        sim += (av.re * bv.im).abs() + (av.im * bv.re).abs();
+                    }
+                    let tol = 4.0 * n * f64::EPSILON;
+                    let d = seed[(r, c)] - fused[(r, c)];
+                    assert!(d.re.abs() <= tol * sre.max(f64::MIN_POSITIVE));
+                    assert!(d.im.abs() <= tol * sim.max(f64::MIN_POSITIVE));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_name_is_stable() {
+        assert_eq!(SimdBackend::Avx512.name(), "avx512");
+        assert_eq!(SimdBackend::Avx2.name(), "avx2");
+        assert_eq!(SimdBackend::Portable.name(), "portable");
+        assert!(SimdBackend::Avx2.is_hardware());
+        assert!(!SimdBackend::Portable.is_hardware());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn simd_mismatch_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        let _ = a.matmul_simd(&b);
+    }
+}

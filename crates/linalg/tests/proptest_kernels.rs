@@ -1,7 +1,7 @@
 //! Bit-identity properties of the dense kernels.
 //!
-//! The optimized matmul/mul_vec paths (`matmul`, `matmul_blocked`,
-//! `matmul_into`, `mul_vec_into`) are only allowed to rearrange *memory
+//! The optimized matmul/mul_vec paths (`matmul`, `matmul_into`,
+//! `mul_vec_into`) are only allowed to rearrange *memory
 //! traffic*, never the floating-point fold: every output element must be
 //! the ascending-`k` sum `((0 + a₀b₀) + a₁b₁) + …` with zero `A`-elements
 //! skipped, exactly as the seed's triple loop computed it. These tests pin
@@ -122,16 +122,6 @@ proptest! {
         let b = cmat_from_seed(k, n, s2);
         let reference = naive_cmatmul(&a, &b);
         prop_assert!(cmats_bit_identical(&reference, &a.matmul(&b)));
-    }
-
-    #[test]
-    fn cmat_matmul_blocked_bit_identical_to_naive(
-        (m, k, n) in (dim(), dim(), dim()), s1 in any::<u32>(), s2 in any::<u32>()
-    ) {
-        let a = cmat_from_seed(m, k, s1);
-        let b = cmat_from_seed(k, n, s2);
-        let reference = naive_cmatmul(&a, &b);
-        prop_assert!(cmats_bit_identical(&reference, &a.matmul_blocked(&b)));
     }
 
     #[test]

@@ -569,6 +569,64 @@ impl FlumenFabric {
         Ok(ys)
     }
 
+    /// Runs the compute partition `part` over a **batch** of input vectors
+    /// with one fabric configuration (ideal analog model).
+    ///
+    /// The fabric is programmed by [`FlumenFabric::set_partitions`] before
+    /// this call; the batch then streams through the fixed phase state.
+    /// This is the `mvm_batched` primitive: one programming (the expensive
+    /// thermo-optic/DAC step, amortized by the program cache and counted
+    /// once in the power model) and `B` cheap propagations.
+    ///
+    /// **Contract:** element `i` of the result is bit-identical to
+    /// `self.compute_in(part, &xs[i])` — batching never changes numerics.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlumenFabric::compute_in`]; the first invalid vector aborts
+    /// the batch.
+    pub fn compute_batch_in(&self, part: usize, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        self.compute_batch_in_with_model(part, xs, &AnalogModel::ideal(), 0)
+    }
+
+    /// Batched [`FlumenFabric::compute_in_with_model`].
+    ///
+    /// Vector `i` uses readout-noise seed `seed.wrapping_add(i as u64)`, so
+    /// the batch is bit-identical to the sequence of single calls
+    /// `compute_in_with_model(part, &xs[i], model, seed + i)` — distinct
+    /// vectors draw independent noise, and the equivalence to single-vector
+    /// execution stays exact (the conservation property the batched-offload
+    /// tests pin down).
+    ///
+    /// # Errors
+    ///
+    /// See [`FlumenFabric::compute_in`]; the first invalid vector aborts
+    /// the batch.
+    pub fn compute_batch_in_with_model(
+        &self,
+        part: usize,
+        xs: &[Vec<f64>],
+        model: &AnalogModel,
+        seed: u64,
+    ) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(xs.len());
+        for (i, x) in xs.iter().enumerate() {
+            out.push(self.compute_in_with_model(part, x, model, seed.wrapping_add(i as u64))?);
+        }
+        Ok(out)
+    }
+
+    /// Batched [`FlumenFabric::propagate`]: one fixed fabric state, `B`
+    /// E-field propagations. Element `i` is bit-identical to
+    /// `self.propagate(&inputs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector's length differs from `n`.
+    pub fn propagate_batch(&self, inputs: &[Vec<C64>]) -> Vec<Vec<C64>> {
+        inputs.iter().map(|x| self.propagate(x)).collect()
+    }
+
     /// Physical E-field propagation through the whole fabric: left
     /// half-columns, mid phase screen, attenuator column, right
     /// half-columns, output phase screen.

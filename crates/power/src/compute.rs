@@ -63,13 +63,32 @@ pub fn flumen_laser_mw(n: usize) -> Milliwatts {
     LASER_BASE_MW * loss_db.to_linear()
 }
 
+/// One-time **programming** energy of a `p`-vector batch on an `n`-input
+/// Flumen partition: the `n²` phase DACs held for the whole fabric
+/// occupancy window. Paid once per mesh configuration regardless of batch
+/// size — the term batched MVM amortizes.
+pub fn flumen_programming_pj(n: usize, p: usize) -> Picojoules {
+    let t = flumen_op_time_ns(p);
+    t * (n * n) as f64 * P_PHASE_DAC_MW
+}
+
+/// Per-vector **propagation** energy on an `n`-input Flumen partition:
+/// DAC/ADC conversion of the `n` input/output samples plus the laser
+/// wall-plug energy for one vector's traversal. Paid `p` times per batch.
+pub fn flumen_propagation_pj(n: usize, p: usize) -> Picojoules {
+    let t = flumen_op_time_ns(p);
+    n as f64 * E_CONV_PJ + t * flumen_laser_mw(n)
+}
+
 /// Energy of an `n×n` matrix times `p` vectors on an `n`-input Flumen
 /// partition.
+///
+/// Defined as exactly `1×programming + p×propagation` — the batched-MVM
+/// conservation identity
+/// `flumen_matmul_pj(n, p) == flumen_programming_pj(n, p) + p · flumen_propagation_pj(n, p)`
+/// holds bit-exactly by construction (same operands, same order).
 pub fn flumen_matmul_pj(n: usize, p: usize) -> Picojoules {
-    let t = flumen_op_time_ns(p);
-    let static_pj = t * (n * n) as f64 * P_PHASE_DAC_MW;
-    let per_vec_pj = n as f64 * E_CONV_PJ + t * flumen_laser_mw(n);
-    static_pj + p as f64 * per_vec_pj
+    flumen_programming_pj(n, p) + p as f64 * flumen_propagation_pj(n, p)
 }
 
 /// Energy per MAC for the Flumen fabric (Fig. 12c).
@@ -156,6 +175,34 @@ mod tests {
                 assert!(flumen_matmul_pj(n, p + 1) > flumen_matmul_pj(n, p));
             }
         }
+    }
+
+    #[test]
+    fn batched_energy_conservation_is_exact() {
+        // batched_total == 1×programming + B×propagation, bit-exact —
+        // the identity the batched-offload conservation suite relies on.
+        for n in [4usize, 8, 16, 64, 128] {
+            for p in [1usize, 2, 7, 8, 9, 64, 1024] {
+                let total = flumen_matmul_pj(n, p).value();
+                let split =
+                    (flumen_programming_pj(n, p) + p as f64 * flumen_propagation_pj(n, p)).value();
+                assert_eq!(total.to_bits(), split.to_bits(), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_programming() {
+        // Per-vector energy must fall strictly with batch size, converging
+        // toward the propagation floor as the fixed programming term is
+        // spread over more vectors (at n=64 programming is ~63% of the
+        // batch-1 energy, so the asymptotic ratio is ≈2.2×).
+        let per_vec = |p: usize| flumen_matmul_pj(64, p).value() / p as f64;
+        assert!(per_vec(8) < per_vec(4));
+        assert!(per_vec(4) < per_vec(1));
+        assert!(per_vec(1) / per_vec(64) > 2.0);
+        let floor = flumen_propagation_pj(64, 64).value();
+        assert!(per_vec(64) < 1.1 * floor);
     }
 
     #[test]

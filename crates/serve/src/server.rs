@@ -166,6 +166,28 @@ pub fn serve_requests(
         })
         .collect::<Result<_, _>>()?;
 
+    // The serving-layer batched-MVM view: requests sharing a payload hash
+    // share one execution (one "mesh programming"), so each distinct
+    // payload serves a batch of `k` requests. Emitted once per distinct
+    // payload, in first-seen request order, before simulated time starts.
+    {
+        let mut batch: Vec<(String, u64)> = Vec::new();
+        for r in requests {
+            let h = r.job.content_hash();
+            match batch.iter_mut().find(|(k, _)| *k == h) {
+                Some((_, count)) => *count += 1,
+                None => batch.push((h, 1)),
+            }
+        }
+        for (i, (_, count)) in batch.iter().enumerate() {
+            trace.emit(|| {
+                TraceEvent::instant(TraceCategory::Serve, "serve::batch", 0, 0)
+                    .with_id(i as u64)
+                    .with_arg("requests", *count as f64)
+            });
+        }
+    }
+
     let mut events: EventQueue<ServeEvent> = EventQueue::new();
     for (idx, r) in requests.iter().enumerate() {
         events.schedule(r.arrival, ServeEvent::Arrival(idx));

@@ -73,12 +73,15 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "offload",
     "offload_done",
     "partition",
+    "perf::matmul",
+    "perf::mvm_batched",
     "pkt",
     "reconfig",
     "reject",
     "request",
     "resume",
     "serve::admit",
+    "serve::batch",
     "serve::complete",
     "serve::dispatch",
     "serve::job",
