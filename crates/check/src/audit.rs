@@ -1,0 +1,676 @@
+//! The `flumen-audit` lint pass: determinism lints over taint-marked
+//! functions plus the unsafe-SIMD discipline checks.
+//!
+//! Determinism lints (fire only inside functions the
+//! [`crate::taint`] pass marked as reachable from a bit-determinism
+//! root):
+//!
+//! * **det-hash-iter** — iteration over a `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, bare `for … in
+//!   map`); keyed lookup (`get`/`insert`/`entry`) stays allowed.
+//! * **det-unordered-reduction** — `.sum()`/`.product()`/`.fold()`/
+//!   `.reduce()` chained off a hash container, where float accumulation
+//!   order follows hash order.
+//! * **det-wall-clock** — `Instant::now()` / `SystemTime::now()`.
+//! * **det-unseeded-rng** — `thread_rng()`, `from_entropy()`,
+//!   `rand::random()`, `RandomState::new()`.
+//! * **det-ambient-id** — `thread::current()` or a pointer address
+//!   laundered into an integer (`.as_ptr() as usize`).
+//!
+//! Unsafe-discipline lints (fire everywhere outside test code):
+//!
+//! * **unsafe-safety-comment** — an `unsafe` keyword with no
+//!   `// SAFETY:` (or `/// # Safety`) comment within the preceding
+//!   [`SAFETY_COMMENT_WINDOW`] lines.
+//! * **target-feature-gate** — a call whose every candidate callee is
+//!   `#[target_feature]`, from a caller that neither carries the same
+//!   features nor contains a runtime dispatch guard
+//!   (`is_x86_feature_detected!`, a configured guard fn).
+//! * **unchecked-ptr-arith** — raw-pointer arithmetic
+//!   (`.add`/`.offset`/`get_unchecked`) inside an `unsafe fn` in a
+//!   configured module with no `assert!`/`debug_assert!` preamble
+//!   before the first pointer op.
+//!
+//! Suppression reuses the `// flumen-check: allow(<lint>)` machinery;
+//! findings can also be parked in a committed baseline file
+//! (see [`load_baseline`] / [`partition_baseline`]).
+
+use crate::index::{CallSite, FileIndex, FnDef, WorkspaceIndex};
+use crate::lexer::TokKind;
+use crate::lints::{self, Diagnostic, Lint};
+use crate::taint::{self, TaintConfig, TaintSet};
+use crate::FileDiagnostic;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// How many lines above an `unsafe` keyword a SAFETY comment may sit
+/// (a multi-line comment plus attributes like `#[target_feature(...)]`
+/// and `#[allow(...)]` may separate the `SAFETY` keyword from it).
+pub const SAFETY_COMMENT_WINDOW: u32 = 6;
+
+/// Policy for the audit pass.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Taint roots and exemptions.
+    pub taint: TaintConfig,
+    /// Fn names whose call counts as a runtime feature-dispatch guard.
+    pub guard_fns: Vec<String>,
+    /// Modules whose `unsafe fn`s must bound pointer arithmetic with a
+    /// checked preamble.
+    pub ptr_modules: Vec<String>,
+    /// Modules exempt from `det-unordered-reduction` (the pinned-FMA
+    /// kernels fix their own accumulation order).
+    pub reduction_exempt: Vec<String>,
+}
+
+impl AuditConfig {
+    /// The Flumen workspace policy.
+    pub fn flumen() -> Self {
+        AuditConfig {
+            taint: TaintConfig::flumen(),
+            guard_fns: vec![
+                "simd_backend".into(),
+                "cpu_has_avx2".into(),
+                "cpu_has_avx512".into(),
+            ],
+            ptr_modules: vec!["linalg::simd".into()],
+            reduction_exempt: vec!["linalg::simd".into()],
+        }
+    }
+}
+
+/// Hash-container methods that expose iteration order. Keyed access
+/// (`get`, `insert`, `remove`, `entry`, `contains_key`, `len`) is fine.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Order-sensitive reduction adapters.
+const REDUCTIONS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Raw-pointer ops that must sit behind a checked preamble.
+const PTR_OPS: &[&str] = &["add", "offset", "sub", "get_unchecked", "get_unchecked_mut"];
+
+/// Assertion macros that count as a checked preamble.
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Runs the full audit over a built index. Diagnostics are sorted by
+/// file then line; allow directives are already applied.
+pub fn audit_index(index: &WorkspaceIndex, cfg: &AuditConfig) -> Vec<FileDiagnostic> {
+    let taint = taint::propagate(index, &cfg.taint);
+    let mut out: Vec<FileDiagnostic> = Vec::new();
+
+    // Per-file allow directives (and malformed-directive findings).
+    let mut allows: Vec<Vec<(u32, Lint)>> = Vec::with_capacity(index.files.len());
+    for (fi, file) in index.files.iter().enumerate() {
+        let (a, bad) = lints::parse_allows(&file.comments);
+        allows.push(a);
+        out.extend(bad.into_iter().map(|diag| FileDiagnostic {
+            file: index.files[fi].file.clone(),
+            diag,
+        }));
+    }
+
+    for (id, f) in index.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = &index.files[f.file];
+        let mut push = |diag: Diagnostic| {
+            out.push(FileDiagnostic {
+                file: file.file.clone(),
+                diag,
+            })
+        };
+        if taint.is_tainted(id) {
+            det_lints(index, &taint, id, f, file, cfg, &mut push);
+        }
+        target_feature_gate(index, f, file, cfg, &mut push);
+        unchecked_ptr_arith(f, file, cfg, &mut push);
+    }
+
+    unsafe_safety_comments(index, &mut out);
+
+    // Apply allow directives (same or directly preceding line), then
+    // order deterministically.
+    out.retain(|fd| {
+        let Some(fi) = index.files.iter().position(|f| f.file == fd.file) else {
+            return true;
+        };
+        !allows[fi].iter().any(|(line, lint)| {
+            *lint == fd.diag.lint && (*line == fd.diag.line || *line + 1 == fd.diag.line)
+        })
+    });
+    out.sort_by(|a, b| {
+        (&a.file, a.diag.line, a.diag.lint.name()).cmp(&(&b.file, b.diag.line, b.diag.lint.name()))
+    });
+    out
+}
+
+fn ident_at(file: &FileIndex, i: usize) -> Option<&str> {
+    match file.toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(file: &FileIndex, i: usize, c: char) -> bool {
+    matches!(file.toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// Is the direct receiver of the method call at `site` a hash
+/// container? (`map.iter()`, `self.iter()` in a hash impl, or a chained
+/// base like `self.cache.keys()`.)
+fn receiver_is_hash(f: &FnDef, file: &FileIndex, site: &CallSite) -> Option<String> {
+    if !site.is_method || site.tok < 2 {
+        return None;
+    }
+    let recv = site.tok - 2;
+    match ident_at(file, recv) {
+        Some("self") => {
+            if f.self_is_hash {
+                Some("self".to_string())
+            } else {
+                None
+            }
+        }
+        Some(name) => {
+            // `self.field.iter()` — the field name is at `recv`.
+            if file.hash_names.contains(name) {
+                Some(name.to_string())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Walks a method chain backwards from the `.` before token `dot`,
+/// returning the base identifier token index (`map` in
+/// `map.values().copied().sum()`), or `None` when the chain starts from
+/// a call or literal.
+fn chain_base(file: &FileIndex, mut dot: usize) -> Option<usize> {
+    loop {
+        if dot == 0 {
+            return None;
+        }
+        let j = dot - 1;
+        match file.toks.get(j).map(|t| &t.kind) {
+            Some(TokKind::Punct(')')) => {
+                let open = rev_matching(file, j, '(', ')')?;
+                if open == 0 {
+                    return None;
+                }
+                let name = open - 1;
+                if ident_at(file, name).is_some() {
+                    if name >= 1 && punct_at(file, name - 1, '.') {
+                        dot = name - 1;
+                    } else {
+                        return Some(name);
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Some(TokKind::Ident(_)) => {
+                if j >= 1 && punct_at(file, j - 1, '.') {
+                    dot = j - 1;
+                } else {
+                    return Some(j);
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Reverse balanced scan: `close_idx` is on a `close`; returns the
+/// index of the matching `open`.
+fn rev_matching(file: &FileIndex, close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close_idx;
+    loop {
+        match file.toks.get(j).map(|t| &t.kind) {
+            Some(TokKind::Punct(c)) if *c == close => depth += 1,
+            Some(TokKind::Punct(c)) if *c == open => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// The five determinism lints, applied to one tainted fn body.
+fn det_lints(
+    index: &WorkspaceIndex,
+    taint: &TaintSet,
+    id: usize,
+    f: &FnDef,
+    file: &FileIndex,
+    cfg: &AuditConfig,
+    push: &mut dyn FnMut(Diagnostic),
+) {
+    let root = taint
+        .reached_from
+        .get(&id)
+        .cloned()
+        .unwrap_or_else(|| f.path.clone());
+    let provenance = if root == f.path {
+        "a determinism root".to_string()
+    } else {
+        format!("reached from `{root}`")
+    };
+    let _ = index;
+
+    for site in &f.calls {
+        // det-hash-iter -------------------------------------------------
+        if site.is_method && ITER_METHODS.contains(&site.name.as_str()) {
+            if let Some(recv) = receiver_is_hash(f, file, site) {
+                push(Diagnostic {
+                    lint: Lint::DetHashIter,
+                    line: site.line,
+                    message: format!(
+                        "iteration over hash container `{recv}` in `{}` ({provenance}); \
+                         hash order is nondeterministic — use BTreeMap/BTreeSet or sort \
+                         before the order can escape",
+                        f.path
+                    ),
+                });
+            }
+        }
+        // det-unordered-reduction ---------------------------------------
+        if site.is_method
+            && REDUCTIONS.contains(&site.name.as_str())
+            && !module_matches(&f.module, &cfg.reduction_exempt)
+            && site.tok >= 1
+        {
+            if let Some(base) = chain_base(file, site.tok - 1) {
+                let hash_base = match ident_at(file, base) {
+                    Some("self") => f.self_is_hash,
+                    Some(name) => file.hash_names.contains(name),
+                    None => false,
+                };
+                if hash_base {
+                    push(Diagnostic {
+                        lint: Lint::DetUnorderedReduction,
+                        line: site.line,
+                        message: format!(
+                            "`.{}(…)` reduces a hash-ordered iterator in `{}` ({provenance}); \
+                             float accumulation order follows hash order — collect and sort \
+                             first",
+                            site.name, f.path
+                        ),
+                    });
+                }
+            }
+        }
+        // det-wall-clock ------------------------------------------------
+        if site.name == "now"
+            && site
+                .segments
+                .iter()
+                .any(|s| s == "Instant" || s == "SystemTime")
+        {
+            push(Diagnostic {
+                lint: Lint::DetWallClock,
+                line: site.line,
+                message: format!(
+                    "`{}::now()` in `{}` ({provenance}); wall-clock reads must not feed \
+                     determinism-checked results",
+                    site.segments[site.segments.len() - 2],
+                    f.path
+                ),
+            });
+        }
+        // det-unseeded-rng ----------------------------------------------
+        let rng = matches!(site.name.as_str(), "thread_rng" | "from_entropy")
+            || (site.name == "new" && site.segments.iter().any(|s| s == "RandomState"))
+            || (site.name == "random" && site.segments.first().is_some_and(|s| s == "rand"));
+        if rng {
+            push(Diagnostic {
+                lint: Lint::DetUnseededRng,
+                line: site.line,
+                message: format!(
+                    "unseeded / thread-local randomness `{}` in `{}` ({provenance}); derive \
+                     all randomness from the run seed",
+                    site.segments.join("::"),
+                    f.path
+                ),
+            });
+        }
+        // det-ambient-id ------------------------------------------------
+        if site.name == "current" && site.segments.iter().any(|s| s == "thread") {
+            push(Diagnostic {
+                lint: Lint::DetAmbientId,
+                line: site.line,
+                message: format!(
+                    "`thread::current()` in `{}` ({provenance}); thread identity varies \
+                     run to run",
+                    f.path
+                ),
+            });
+        }
+        if site.is_method && matches!(site.name.as_str(), "as_ptr" | "as_mut_ptr") {
+            // `.as_ptr() as usize` — pointer address escaping to an int.
+            let close = lints::skip_balanced(&file.toks, site.tok + 1, '(', ')');
+            if ident_at(file, close) == Some("as")
+                && matches!(
+                    ident_at(file, close + 1),
+                    Some("usize") | Some("u64") | Some("isize") | Some("i64")
+                )
+            {
+                push(Diagnostic {
+                    lint: Lint::DetAmbientId,
+                    line: site.line,
+                    message: format!(
+                        "pointer address cast to an integer in `{}` ({provenance}); \
+                         allocation addresses vary run to run",
+                        f.path
+                    ),
+                });
+            }
+        }
+    }
+
+    // Bare `for … in map {` loops (no method call to latch onto).
+    let (lo, hi) = f.body;
+    let mut j = lo;
+    while j < hi {
+        if ident_at(file, j) == Some("for") {
+            // find `in` at this loop header
+            let mut k = j + 1;
+            while k < hi && ident_at(file, k) != Some("in") && !punct_at(file, k, '{') {
+                k += 1;
+            }
+            if ident_at(file, k) == Some("in") {
+                let mut m = k + 1;
+                let mut last_ident: Option<&str> = None;
+                loop {
+                    match file.toks.get(m).map(|t| &t.kind) {
+                        Some(TokKind::Punct('&')) | Some(TokKind::Punct('.')) => m += 1,
+                        Some(TokKind::Ident(s)) if s == "mut" => m += 1,
+                        Some(TokKind::Ident(s)) => {
+                            last_ident = Some(s.as_str());
+                            m += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if punct_at(file, m, '{') {
+                    if let Some(name) = last_ident {
+                        let hashy =
+                            (name == "self" && f.self_is_hash) || file.hash_names.contains(name);
+                        if hashy {
+                            push(Diagnostic {
+                                lint: Lint::DetHashIter,
+                                line: file.toks[j].line,
+                                message: format!(
+                                    "`for … in {name}` iterates a hash container in `{}` \
+                                     ({provenance}); hash order is nondeterministic",
+                                    f.path
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+fn module_matches(module: &str, list: &[String]) -> bool {
+    list.iter()
+        .any(|m| module == m || module.starts_with(&format!("{m}::")))
+}
+
+/// target-feature-gate: a call whose every candidate is
+/// `#[target_feature]` needs the caller gated.
+fn target_feature_gate(
+    index: &WorkspaceIndex,
+    f: &FnDef,
+    file: &FileIndex,
+    cfg: &AuditConfig,
+    push: &mut dyn FnMut(Diagnostic),
+) {
+    // A caller is gated when its body invokes a dispatch guard.
+    let has_guard = f
+        .macros
+        .iter()
+        .any(|(m, _, _)| m == "is_x86_feature_detected")
+        || f.calls
+            .iter()
+            .any(|c| cfg.guard_fns.iter().any(|g| g == &c.name));
+
+    for site in &f.calls {
+        if site.is_method {
+            continue; // feature kernels are invoked as path calls
+        }
+        let cands = taint::resolve_call(index, f.file, &f.module, site);
+        if cands.is_empty() {
+            continue;
+        }
+        let all_featured = cands
+            .iter()
+            .all(|&c| !index.fns[c].target_features.is_empty());
+        if !all_featured {
+            continue;
+        }
+        let needed: BTreeSet<&str> = cands
+            .iter()
+            .flat_map(|&c| index.fns[c].target_features.iter().map(String::as_str))
+            .collect();
+        let caller_has: BTreeSet<&str> = f.target_features.iter().map(String::as_str).collect();
+        if needed.is_subset(&caller_has) {
+            continue; // same-feature fn calling a sibling kernel
+        }
+        if has_guard {
+            continue;
+        }
+        let _ = file;
+        push(Diagnostic {
+            lint: Lint::TargetFeatureGate,
+            line: site.line,
+            message: format!(
+                "`{}` targets #[target_feature({})] code but `{}` neither shares the \
+                 attribute nor performs a runtime dispatch check \
+                 (is_x86_feature_detected! / {})",
+                site.segments.join("::"),
+                needed.iter().cloned().collect::<Vec<_>>().join(","),
+                f.path,
+                cfg.guard_fns.join("/")
+            ),
+        });
+    }
+}
+
+/// unchecked-ptr-arith: raw-pointer math in configured unsafe fns must
+/// follow an assertion preamble.
+fn unchecked_ptr_arith(
+    f: &FnDef,
+    file: &FileIndex,
+    cfg: &AuditConfig,
+    push: &mut dyn FnMut(Diagnostic),
+) {
+    if !f.is_unsafe || !module_matches(&f.module, &cfg.ptr_modules) {
+        return;
+    }
+    let first_op = f
+        .calls
+        .iter()
+        .filter(|c| c.is_method && PTR_OPS.contains(&c.name.as_str()))
+        .map(|c| (c.tok, c.line, c.name.clone()))
+        .min();
+    let Some((op_tok, op_line, op_name)) = first_op else {
+        return;
+    };
+    let checked = f
+        .macros
+        .iter()
+        .any(|(m, _, tok)| ASSERT_MACROS.contains(&m.as_str()) && *tok < op_tok);
+    let _ = file;
+    if !checked {
+        push(Diagnostic {
+            lint: Lint::UncheckedPtrArith,
+            line: op_line,
+            message: format!(
+                "raw-pointer `.{op_name}(…)` in unsafe fn `{}` with no checked preamble; \
+                 bound the index arithmetic with a debug_assert! before the first pointer op",
+                f.path
+            ),
+        });
+    }
+}
+
+/// unsafe-safety-comment: every production `unsafe` keyword needs a
+/// SAFETY comment within the preceding [`SAFETY_COMMENT_WINDOW`] lines.
+fn unsafe_safety_comments(index: &WorkspaceIndex, out: &mut Vec<FileDiagnostic>) {
+    for file in &index.files {
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if !matches!(&t.kind, TokKind::Ident(s) if s == "unsafe") {
+                continue;
+            }
+            let lo = t.line.saturating_sub(SAFETY_COMMENT_WINDOW);
+            let covered = file.comments.iter().any(|c| {
+                c.line >= lo
+                    && c.line <= t.line
+                    && (c.text.contains("SAFETY") || c.text.contains("# Safety"))
+            });
+            if !covered {
+                out.push(FileDiagnostic {
+                    file: file.file.clone(),
+                    diag: Diagnostic {
+                        lint: Lint::UnsafeSafetyComment,
+                        line: t.line,
+                        message: format!(
+                            "`unsafe` in `{}` with no `// SAFETY:` comment within {} lines; \
+                             state the invariant that makes this sound",
+                            file.module, SAFETY_COMMENT_WINDOW
+                        ),
+                    },
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline + JSON rendering
+// ---------------------------------------------------------------------
+
+/// The stable identity of a finding for baseline matching: line numbers
+/// churn, so the key is `file|lint|message`.
+pub fn baseline_key(fd: &FileDiagnostic) -> String {
+    format!(
+        "{}|{}|{}",
+        fd.file.display(),
+        fd.diag.lint.name(),
+        fd.diag.message
+    )
+}
+
+/// Loads a baseline file: one key per line, `#` comments and blank
+/// lines ignored. A missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> Result<BTreeSet<String>, String> {
+    if !path.exists() {
+        return Ok(BTreeSet::new());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Splits findings into `(new, baselined)` against a baseline set, and
+/// returns the stale baseline entries that no longer match anything.
+pub fn partition_baseline(
+    findings: Vec<FileDiagnostic>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<FileDiagnostic>, Vec<FileDiagnostic>, Vec<String>) {
+    let mut fresh = Vec::new();
+    let mut parked = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for fd in findings {
+        let key = baseline_key(&fd);
+        if baseline.contains(&key) {
+            seen.insert(key);
+            parked.push(fd);
+        } else {
+            fresh.push(fd);
+        }
+    }
+    let stale = baseline.difference(&seen).cloned().collect();
+    (fresh, parked, stale)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array for the CI artifact — stable field
+/// order, one object per finding.
+pub fn render_json(findings: &[FileDiagnostic], baselined: &[FileDiagnostic]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (set, status) in [(findings, "new"), (baselined, "baselined")] {
+        for fd in set {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"status\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&fd.file.display().to_string()),
+                fd.diag.line,
+                fd.diag.lint.name(),
+                status,
+                json_escape(&fd.diag.message)
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}

@@ -336,7 +336,9 @@ impl Lexer {
     }
 
     fn ident_or_prefixed(&mut self, line: u32) {
-        // String/char prefixes: r"…", r#"…"#, b"…", br"…", b'…'.
+        // String/char prefixes: r"…", r#"…"#, b"…", br"…", b'…', c"…",
+        // cr#"…"# — plus raw identifiers (`r#fn`), which lex as the plain
+        // identifier they escape.
         let c0 = self.peek(0);
         if c0 == Some('r') {
             if self.peek(1) == Some('"')
@@ -347,6 +349,45 @@ impl Lexer {
                 let s = self.raw_string();
                 self.push(TokKind::Str(s), line);
                 return;
+            }
+            if self.peek(1) == Some('#')
+                && self.peek(2).is_some_and(|c| c == '_' || c.is_alphabetic())
+            {
+                // Raw identifier r#fn / r#match: one Ident token, not
+                // Ident("r") + '#' + Ident.
+                self.bump(); // r
+                self.bump(); // #
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident(name), line);
+                return;
+            }
+        } else if c0 == Some('c') {
+            // C-string literals (Rust 1.77+): c"…", cr"…", cr#"…"#.
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(); // c
+                    let s = self.cooked_string();
+                    self.push(TokKind::Str(s), line);
+                    return;
+                }
+                Some('r')
+                    if matches!(self.peek(2), Some('"') | Some('#'))
+                        && self.raw_string_follows(2) =>
+                {
+                    self.bump(); // c
+                    let s = self.raw_string();
+                    self.push(TokKind::Str(s), line);
+                    return;
+                }
+                _ => {}
             }
         } else if c0 == Some('b') {
             match self.peek(1) {
@@ -479,5 +520,93 @@ mod tests {
         let (toks, _) = lex("/* a /* b */ c */ z");
         assert_eq!(toks.len(), 1);
         assert_eq!(toks[0].kind, TokKind::Ident("z".into()));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_and_line_tracking() {
+        let (toks, _) = lex("/* 1 /* 2 /* 3 */ 2 */\n1 */ after");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Ident("after".into()));
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_nested_hashes_and_quotes() {
+        assert_eq!(
+            kinds(r####"r##"a "# b"## r#""# x"####),
+            vec![
+                TokKind::Str("a \"# b".into()),
+                TokKind::Str("".into()),
+                TokKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        // `r#fn` must not split into Ident("r") '#' Ident("fn") — that
+        // would desync every downstream item scan.
+        assert_eq!(
+            kinds("r#fn r#match + regular"),
+            vec![
+                TokKind::Ident("fn".into()),
+                TokKind::Ident("match".into()),
+                TokKind::Punct('+'),
+                TokKind::Ident("regular".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn c_string_literals() {
+        assert_eq!(
+            kinds(r##"c"null" cr"raw" cr#"ra"w"# cx"##),
+            vec![
+                TokKind::Str("null".into()),
+                TokKind::Str("raw".into()),
+                TokKind::Str("ra\"w".into()),
+                TokKind::Ident("cx".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_edge_cases() {
+        // '_ and labels are lifetimes; escaped quotes and unicode
+        // escapes are chars.
+        assert_eq!(
+            kinds(r"'_ 'outer '\'' '\u{1F600}' '(' b'\n'"),
+            vec![
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_with_lifetimes_do_not_eat_chars() {
+        assert_eq!(
+            kinds("Foo::<'a, 'b>(x) == 'a'"),
+            vec![
+                TokKind::Ident("Foo".into()),
+                TokKind::Punct(':'),
+                TokKind::Punct(':'),
+                TokKind::Punct('<'),
+                TokKind::Lifetime,
+                TokKind::Punct(','),
+                TokKind::Lifetime,
+                TokKind::Punct('>'),
+                TokKind::Punct('('),
+                TokKind::Ident("x".into()),
+                TokKind::Punct(')'),
+                TokKind::Punct('='),
+                TokKind::Punct('='),
+                TokKind::Char,
+            ]
+        );
     }
 }

@@ -24,8 +24,11 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod index;
 pub mod lexer;
 pub mod lints;
+pub mod taint;
 
 pub use lints::{CheckConfig, Diagnostic, Lint};
 
@@ -72,6 +75,24 @@ pub fn check_workspace(root: &Path) -> Result<Vec<FileDiagnostic>, String> {
     let mut cfg = CheckConfig::flumen();
     cfg.trace_registry = trace_registry(root)?;
 
+    let mut out = Vec::new();
+    for s in collect_workspace_sources(root)? {
+        out.extend(
+            check_source(&s.module, &s.src, &cfg)
+                .into_iter()
+                .map(|diag| FileDiagnostic {
+                    file: s.file.clone(),
+                    diag,
+                }),
+        );
+    }
+    Ok(out)
+}
+
+/// Reads every production source under `root` into
+/// [`index::SourceFile`]s (module path + workspace-relative display
+/// path + contents), in deterministic crate/file order.
+pub fn collect_workspace_sources(root: &Path) -> Result<Vec<index::SourceFile>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -99,17 +120,39 @@ pub fn check_workspace(root: &Path) -> Result<Vec<FileDiagnostic>, String> {
             let src = fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            out.extend(
-                check_source(&module, &src, &cfg)
-                    .into_iter()
-                    .map(|diag| FileDiagnostic {
-                        file: rel.clone(),
-                        diag,
-                    }),
-            );
+            out.push(index::SourceFile {
+                module,
+                file: rel,
+                src,
+            });
         }
     }
     Ok(out)
+}
+
+/// Runs the cross-crate `flumen-audit` pass over the workspace: builds
+/// the item/call-graph index, propagates determinism taint, and applies
+/// the audit lints. Allow directives are already applied; baseline
+/// filtering is the caller's business (see [`audit::load_baseline`]).
+pub fn audit_workspace(root: &Path) -> Result<Vec<FileDiagnostic>, String> {
+    let sources = collect_workspace_sources(root)?;
+    let ix = index::WorkspaceIndex::build(&sources);
+    Ok(audit::audit_index(&ix, &audit::AuditConfig::flumen()))
+}
+
+/// Audits an in-memory set of `(module, source)` snippets under the
+/// Flumen policy — the unit of the audit fixture tests.
+pub fn audit_snippets(sources: &[(&str, &str)]) -> Vec<FileDiagnostic> {
+    let files: Vec<index::SourceFile> = sources
+        .iter()
+        .map(|(m, s)| index::SourceFile {
+            module: m.to_string(),
+            file: PathBuf::from(format!("{}.rs", m.replace("::", "/"))),
+            src: s.to_string(),
+        })
+        .collect();
+    let ix = index::WorkspaceIndex::build(&files);
+    audit::audit_index(&ix, &audit::AuditConfig::flumen())
 }
 
 /// Extracts `REGISTERED_EVENT_NAMES` from the trace crate's source, so

@@ -30,6 +30,33 @@ pub enum Lint {
     TraceCategoryRegistered,
     /// An `allow(...)` directive naming an unknown lint.
     BadAllow,
+    /// `HashMap`/`HashSet` iteration inside a determinism-tainted
+    /// function (`flumen-audit`; keyed lookup stays allowed).
+    DetHashIter,
+    /// A float/aggregate reduction (`sum`/`product`/`fold`) driven off a
+    /// hash-container iterator in a tainted function (`flumen-audit`).
+    DetUnorderedReduction,
+    /// `Instant::now` / `SystemTime::now` inside a tainted function
+    /// (`flumen-audit`).
+    DetWallClock,
+    /// Unseeded or thread-local randomness (`thread_rng`,
+    /// `from_entropy`, `RandomState`, `rand::random`) inside a tainted
+    /// function (`flumen-audit`).
+    DetUnseededRng,
+    /// Thread-identity or pointer-address dependence
+    /// (`thread::current`, `ThreadId`, `as_ptr() as usize`) inside a
+    /// tainted function (`flumen-audit`).
+    DetAmbientId,
+    /// An `unsafe` block / fn / impl without an adjacent `// SAFETY:`
+    /// comment (`flumen-audit`).
+    UnsafeSafetyComment,
+    /// A `#[target_feature]` fn called from a function that neither
+    /// carries the same feature attribute nor performs a runtime
+    /// dispatch check (`flumen-audit`).
+    TargetFeatureGate,
+    /// Raw-pointer index arithmetic (`.add`/`.offset`/`get_unchecked`)
+    /// in an unsafe fn with no checked preamble (`flumen-audit`).
+    UncheckedPtrArith,
 }
 
 impl Lint {
@@ -41,16 +68,32 @@ impl Lint {
             Lint::NoBareCast => "no-bare-cast",
             Lint::TraceCategoryRegistered => "trace-category-registered",
             Lint::BadAllow => "bad-allow",
+            Lint::DetHashIter => "det-hash-iter",
+            Lint::DetUnorderedReduction => "det-unordered-reduction",
+            Lint::DetWallClock => "det-wall-clock",
+            Lint::DetUnseededRng => "det-unseeded-rng",
+            Lint::DetAmbientId => "det-ambient-id",
+            Lint::UnsafeSafetyComment => "unsafe-safety-comment",
+            Lint::TargetFeatureGate => "target-feature-gate",
+            Lint::UncheckedPtrArith => "unchecked-ptr-arith",
         }
     }
 
-    fn from_name(name: &str) -> Option<Lint> {
+    pub(crate) fn from_name(name: &str) -> Option<Lint> {
         match name {
             "no-panic-hot-path" => Some(Lint::NoPanicHotPath),
             "raw-unit-literal" => Some(Lint::RawUnitLiteral),
             "no-bare-cast" => Some(Lint::NoBareCast),
             "trace-category-registered" => Some(Lint::TraceCategoryRegistered),
             "bad-allow" => Some(Lint::BadAllow),
+            "det-hash-iter" => Some(Lint::DetHashIter),
+            "det-unordered-reduction" => Some(Lint::DetUnorderedReduction),
+            "det-wall-clock" => Some(Lint::DetWallClock),
+            "det-unseeded-rng" => Some(Lint::DetUnseededRng),
+            "det-ambient-id" => Some(Lint::DetAmbientId),
+            "unsafe-safety-comment" => Some(Lint::UnsafeSafetyComment),
+            "target-feature-gate" => Some(Lint::TargetFeatureGate),
+            "unchecked-ptr-arith" => Some(Lint::UncheckedPtrArith),
             _ => None,
         }
     }
@@ -316,7 +359,7 @@ pub fn check_tokens(
 
 /// Parses `flumen-check: allow(...)` directives out of the line comments.
 /// Returns the (line, lint) pairs plus diagnostics for malformed ones.
-fn parse_allows(comments: &[LineComment]) -> (Vec<(u32, Lint)>, Vec<Diagnostic>) {
+pub(crate) fn parse_allows(comments: &[LineComment]) -> (Vec<(u32, Lint)>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for c in comments {
@@ -355,7 +398,7 @@ fn parse_allows(comments: &[LineComment]) -> (Vec<(u32, Lint)>, Vec<Diagnostic>)
 
 /// Marks every token that belongs to a `#[cfg(test)]` or `#[test]` item
 /// (the attribute itself, any stacked attributes, and the item body).
-fn test_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -426,16 +469,16 @@ fn is_test_attr(toks: &[Tok], i: usize) -> bool {
 }
 
 /// Given `i` on a `[`, returns the index just past its matching `]`.
-fn skip_bracketed(toks: &[Tok], i: usize) -> usize {
+pub(crate) fn skip_bracketed(toks: &[Tok], i: usize) -> usize {
     skip_balanced(toks, i, '[', ']')
 }
 
 /// Given `i` on a `{`, returns the index just past its matching `}`.
-fn skip_braced(toks: &[Tok], i: usize) -> usize {
+pub(crate) fn skip_braced(toks: &[Tok], i: usize) -> usize {
     skip_balanced(toks, i, '{', '}')
 }
 
-fn skip_balanced(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+pub(crate) fn skip_balanced(toks: &[Tok], i: usize, open: char, close: char) -> usize {
     let mut depth = 0usize;
     let mut j = i;
     while let Some(t) = toks.get(j) {

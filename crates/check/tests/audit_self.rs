@@ -1,0 +1,115 @@
+//! Self-application: `flumen-audit` over the real workspace must report
+//! zero non-baselined findings — the same gate the CI job enforces.
+
+use flumen_check::audit;
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = root();
+    let findings = flumen_check::audit_workspace(&root).expect("workspace walk succeeds");
+    let baseline =
+        audit::load_baseline(&root.join("flumen-audit.baseline.txt")).expect("baseline loads");
+    let (fresh, _parked, stale) = audit::partition_baseline(findings, &baseline);
+    assert!(
+        fresh.is_empty(),
+        "flumen-audit found {} non-baselined finding(s):\n{}",
+        fresh.len(),
+        fresh
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries (remove them): {stale:?}"
+    );
+}
+
+#[test]
+fn baseline_is_committed_and_empty() {
+    // The pass landed at `--deny` with every finding fixed or justified
+    // in-line; the baseline exists (CI loads it) but parks nothing.
+    let baseline =
+        audit::load_baseline(&root().join("flumen-audit.baseline.txt")).expect("baseline loads");
+    assert!(
+        baseline.is_empty(),
+        "expected an empty baseline, found {} parked entr{}: {:?}",
+        baseline.len(),
+        if baseline.len() == 1 { "y" } else { "ies" },
+        baseline
+    );
+}
+
+#[test]
+fn taint_reaches_every_executor_crate() {
+    // The audit's power is the cross-crate reach: spot-check that the
+    // benchmark runners really pull the core engine and photonic fabric
+    // into the tainted set (a planted hash iteration there would fire).
+    let sources = flumen_check::collect_workspace_sources(&root()).expect("sources read");
+    let ix = flumen_check::index::WorkspaceIndex::build(&sources);
+    let ts = flumen_check::taint::propagate(&ix, &flumen_check::taint::TaintConfig::flumen());
+    let tainted_modules: std::collections::BTreeSet<&str> = ix
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| ts.is_tainted(*id))
+        .map(|(_, f)| f.module.as_str())
+        .collect();
+    for needle in [
+        "system::engine",
+        "photonics::fabric",
+        "sweep::exec",
+        "serve::exec",
+    ] {
+        assert!(
+            tainted_modules.iter().any(|m| m.starts_with(needle)),
+            "expected taint to reach `{needle}`; tainted modules: {tainted_modules:?}"
+        );
+    }
+}
+
+#[test]
+fn a_planted_violation_would_be_caught() {
+    // The clean self-check above is only meaningful if the pass fires
+    // on real regressions in workspace-shaped code.
+    let diags = flumen_check::audit_snippets(&[(
+        "system::engine",
+        r#"
+        use std::collections::HashMap;
+        pub fn run_benchmark_bad() {
+            let pending: HashMap<u64, u64> = HashMap::new();
+            for (id, v) in pending.iter() {
+                let _ = (id, v);
+            }
+        }
+        "#,
+    )]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.diag.lint == flumen_check::Lint::DetHashIter),
+        "planted hash iteration was not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn json_artifact_renders_findings() {
+    let diags = flumen_check::audit_snippets(&[(
+        "sweep::exec",
+        "pub fn run_plan() { let _t = std::time::Instant::now(); }\n",
+    )]);
+    assert_eq!(diags.len(), 1);
+    let json = audit::render_json(&diags, &[]);
+    assert!(json.contains("\"lint\": \"det-wall-clock\""));
+    assert!(json.contains("\"status\": \"new\""));
+    assert!(json.contains("\"file\": \"sweep/exec.rs\""));
+    // Keys are line-free so the baseline survives unrelated edits.
+    let key = audit::baseline_key(&diags[0]);
+    assert!(key.starts_with("sweep/exec.rs|det-wall-clock|"));
+}

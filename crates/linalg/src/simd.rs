@@ -220,6 +220,8 @@ impl CMat {
                 avx512::matmul(a, rows, inner, &bp, out.as_mut_slice(), cols)
             },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: same witness — `simd_backend()` only returns Avx2
+            // after `is_x86_feature_detected!("avx2"/"fma")` passed.
             SimdBackend::Avx2 => unsafe {
                 avx2::matmul(a, rows, inner, &bp, out.as_mut_slice(), cols)
             },
@@ -288,6 +290,10 @@ mod avx2 {
 
     const LANES: usize = 4;
 
+    // SAFETY: caller must hold the avx2+fma witness (the dispatch in
+    // `matmul_simd_into` and the `cpu_has_avx2()`-guarded tests do);
+    // `a` must hold `rows * inner` elements, `bp` a full
+    // `inner × bp.cc` plane pair, `out` `rows * cols` elements.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn matmul(
         a: &[C64],
@@ -313,6 +319,10 @@ mod avx2 {
     }
 
     /// Hot path: 4 full rows, 8 named accumulator registers.
+    // SAFETY: requires avx2+fma (inherited from `matmul`'s witness),
+    // `(r0 + MR) * inner <= a.len()` for the row-pointer reads, and
+    // `c0 + LANES <= bp.cc` within fully packed B planes for the
+    // unaligned vector loads; the preamble asserts check exactly these.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn panel4(
@@ -326,6 +336,8 @@ mod avx2 {
         live: usize,
     ) {
         let cc = bp.cc;
+        debug_assert!((r0 + MR) * inner <= a.len());
+        debug_assert!(c0 + LANES <= cc && inner * cc <= bp.re.len() && bp.im.len() == bp.re.len());
         let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
         let ap = a.as_ptr();
         let (a0, a1, a2, a3) = (
@@ -378,6 +390,9 @@ mod avx2 {
     }
 
     /// Remaining 1–3 rows: same chains through register arrays.
+    // SAFETY: requires avx2+fma (inherited from `matmul`'s witness) and
+    // `c0 + LANES <= bp.cc` within fully packed B planes for the
+    // unaligned vector loads (A is read with checked slice indexing).
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn panel_tail(
@@ -392,6 +407,7 @@ mod avx2 {
         live: usize,
     ) {
         let cc = bp.cc;
+        debug_assert!(c0 + LANES <= cc && inner * cc <= bp.re.len() && bp.im.len() == bp.re.len());
         let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
         let mut re = [_mm256_setzero_pd(); MR];
         let mut im = [_mm256_setzero_pd(); MR];
@@ -413,6 +429,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires avx2+fma (inherited from `matmul`'s witness);
+    // the vector stores land in the local `LANES`-sized spill arrays,
+    // and `orow` is written with checked slice indexing only.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn store(re: __m256d, im: __m256d, orow: &mut [C64], live: usize) {
         let mut bre = [0.0f64; LANES];
@@ -434,6 +453,10 @@ mod avx512 {
 
     const LANES: usize = 8;
 
+    // SAFETY: caller must hold the avx512f witness (the dispatch in
+    // `matmul_simd_into` and the `cpu_has_avx512()`-guarded tests do);
+    // `a` must hold `rows * inner` elements, `bp` a full
+    // `inner × bp.cc` plane pair, `out` `rows * cols` elements.
     #[target_feature(enable = "avx512f")]
     pub(super) unsafe fn matmul(
         a: &[C64],
@@ -458,6 +481,10 @@ mod avx512 {
         }
     }
 
+    // SAFETY: requires avx512f (inherited from `matmul`'s witness),
+    // `(r0 + MR) * inner <= a.len()` for the row-pointer reads, and
+    // `c0 + LANES <= bp.cc` within fully packed B planes for the
+    // unaligned vector loads; the preamble asserts check exactly these.
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn panel4(
@@ -471,6 +498,8 @@ mod avx512 {
         live: usize,
     ) {
         let cc = bp.cc;
+        debug_assert!((r0 + MR) * inner <= a.len());
+        debug_assert!(c0 + LANES <= cc && inner * cc <= bp.re.len() && bp.im.len() == bp.re.len());
         let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
         let ap = a.as_ptr();
         let (a0, a1, a2, a3) = (
@@ -522,6 +551,9 @@ mod avx512 {
         store(re3, im3, &mut out[(r0 + 3) * cols + c0..], live);
     }
 
+    // SAFETY: requires avx512f (inherited from `matmul`'s witness) and
+    // `c0 + LANES <= bp.cc` within fully packed B planes for the
+    // unaligned vector loads (A is read with checked slice indexing).
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn panel_tail(
@@ -536,6 +568,7 @@ mod avx512 {
         live: usize,
     ) {
         let cc = bp.cc;
+        debug_assert!(c0 + LANES <= cc && inner * cc <= bp.re.len() && bp.im.len() == bp.re.len());
         let (pre, pim) = (bp.re.as_ptr(), bp.im.as_ptr());
         let mut re = [_mm512_setzero_pd(); MR];
         let mut im = [_mm512_setzero_pd(); MR];
@@ -557,6 +590,9 @@ mod avx512 {
         }
     }
 
+    // SAFETY: requires avx512f (inherited from `matmul`'s witness);
+    // the vector stores land in the local `LANES`-sized spill arrays,
+    // and `orow` is written with checked slice indexing only.
     #[target_feature(enable = "avx512f")]
     unsafe fn store(re: __m512d, im: __m512d, orow: &mut [C64], live: usize) {
         let mut bre = [0.0f64; LANES];

@@ -26,7 +26,7 @@ use crate::routing;
 use crate::{PhotonicsError, Result};
 use flumen_linalg::{sha256_hex, spectral_scale, svd, CMat, RMat, C64};
 use flumen_units::Decibels;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a fabric partition is currently doing.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,7 +158,7 @@ pub struct FlumenFabric {
     partitions: Vec<Partition>,
     /// Content-addressed MeshProgram cache keyed by SHA-256 over the weight
     /// matrix bits; survives [`FlumenFabric::reset`].
-    program_cache: HashMap<String, CachedProgram>,
+    program_cache: BTreeMap<String, CachedProgram>,
     /// FIFO eviction order of `program_cache` keys.
     program_cache_order: VecDeque<String>,
     program_cache_capacity: usize,
@@ -197,7 +197,7 @@ impl FlumenFabric {
                 width: n,
                 role: PartitionRole::Idle,
             }],
-            program_cache: HashMap::new(),
+            program_cache: BTreeMap::new(),
             program_cache_order: VecDeque::new(),
             program_cache_capacity: DEFAULT_PROGRAM_CACHE_CAPACITY,
             program_cache_hits: 0,

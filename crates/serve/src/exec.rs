@@ -16,7 +16,7 @@
 use flumen_sim::{Cycles, ToJson};
 use flumen_sweep::hash::sha256_hex;
 use flumen_sweep::{CheckpointStore, JobResult, JobSpec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// The memoized outcome of one distinct payload.
@@ -33,7 +33,7 @@ pub struct Payload {
 /// Content-hash-keyed table of executed payloads.
 #[derive(Debug, Default)]
 pub struct PayloadTable {
-    map: HashMap<String, Payload>,
+    map: BTreeMap<String, Payload>,
 }
 
 impl PayloadTable {
@@ -89,7 +89,7 @@ pub fn execute_payloads(
     // Dedup in first-seen order so the work list is deterministic.
     let mut distinct: Vec<(String, &JobSpec)> = Vec::new();
     {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for spec in specs {
             let h = spec.content_hash();
             if seen.insert(h.clone()) {
@@ -125,7 +125,7 @@ pub fn execute_payloads(
         }
     });
 
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     for (hash, payload) in done.into_inner().unwrap().into_iter().flatten() {
         map.insert(hash, payload);
     }

@@ -592,7 +592,9 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
 // for snapshot determinism (identical state must hash identically).
 impl<K: ToJson + Ord, V: ToJson> ToJson for HashMap<K, V> {
     fn to_json(&self) -> Json {
-        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        // Hash order never escapes: the pairs are sorted before any byte
+        // of output is produced.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect(); // flumen-check: allow(det-hash-iter)
         entries.sort_by(|a, b| a.0.cmp(b.0));
         Json::Arr(
             entries
@@ -604,6 +606,25 @@ impl<K: ToJson + Ord, V: ToJson> ToJson for HashMap<K, V> {
 }
 
 impl<K: FromJson + Eq + Hash, V: FromJson> FromJson for HashMap<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()?.iter().map(<(K, V)>::from_json).collect()
+    }
+}
+
+// BTreeMaps share the pair-array encoding (already key-sorted), so a
+// field converted from HashMap to BTreeMap keeps byte-identical
+// snapshots in both directions.
+impl<K: ToJson, V: ToJson> ToJson for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: FromJson + Ord, V: FromJson> FromJson for std::collections::BTreeMap<K, V> {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         j.as_arr()?.iter().map(<(K, V)>::from_json).collect()
     }

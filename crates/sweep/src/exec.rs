@@ -14,7 +14,7 @@ use crate::cache::ResultCache;
 use crate::checkpoint::CheckpointStore;
 use crate::job::{JobResult, JobSpec};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -184,7 +184,9 @@ impl SweepReport {
 /// Panics if any job panics (after all other jobs finish), or on cache
 /// I/O failure.
 pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
-    let t0 = Instant::now();
+    // Wall-clock feeds only the `wall_ms` / trace-timestamp metadata;
+    // result bytes come from the seeded JobResult JSON alone.
+    let t0 = Instant::now(); // flumen-check: allow(det-wall-clock)
     let cache = ResultCache::open(&opts.cache_dir);
 
     let hashes: Vec<String> = plan.jobs().iter().map(JobSpec::content_hash).collect();
@@ -217,7 +219,7 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
     // Deduplicate the misses: one execution per distinct hash, fanned out
     // to every plan position that asked for it.
     let mut unique: Vec<(JobSpec, Vec<usize>)> = Vec::new();
-    let mut by_hash: HashMap<&str, usize> = HashMap::new();
+    let mut by_hash: BTreeMap<&str, usize> = BTreeMap::new();
     for (i, hash) in hashes.iter().enumerate() {
         if slots[i].is_some() {
             continue;
@@ -250,7 +252,8 @@ pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> SweepReport {
                     eprintln!("  [sweep] running {}", spec.label());
                 }
                 let begin_us = t0.elapsed().as_micros() as u64;
-                let tj = Instant::now();
+                // Per-job timing is reporting metadata, never result bytes.
+                let tj = Instant::now(); // flumen-check: allow(det-wall-clock)
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     spec.execute_with(opts.checkpoint.as_ref())
                 }));

@@ -21,7 +21,7 @@ use crate::tasks::CoreTask;
 use flumen_noc::{NetStats, Network, Packet};
 use flumen_sim::{run_until, Clock, Component, Cycles, EventQueue, SimCtx, Snapshotable};
 use flumen_trace::{TraceCategory, TraceEvent, TraceHandle};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Opaque request payload passed from a core to the external server. For
 /// MZIM offloads the five words are `[configs, vectors, n, macs,
@@ -165,12 +165,12 @@ pub struct SystemSim<N: Network, S: ExternalServer<N>> {
     counts: ActivityCounts,
     cycle: u64,
     next_tag: u64,
-    pending_requests: HashMap<u64, ReqInfo>,
-    pending_replies: HashMap<u64, usize>,
-    external_waiting: HashMap<u64, (usize, Vec<CoreTask>)>,
+    pending_requests: BTreeMap<u64, ReqInfo>,
+    pending_replies: BTreeMap<u64, usize>,
+    external_waiting: BTreeMap<u64, (usize, Vec<CoreTask>)>,
     /// Replies awaiting home-node service completion, ordered by deadline.
     server_jobs: EventQueue<Packet>,
-    barrier_counts: HashMap<u32, usize>,
+    barrier_counts: BTreeMap<u32, usize>,
     trace_interval: u64,
     trace: Vec<f64>,
     last_trace_busy: u64,
@@ -217,11 +217,11 @@ impl<N: Network, S: ExternalServer<N>> SystemSim<N, S> {
             counts: ActivityCounts::default(),
             cycle: 0,
             next_tag: 1,
-            pending_requests: HashMap::new(),
-            pending_replies: HashMap::new(),
-            external_waiting: HashMap::new(),
+            pending_requests: BTreeMap::new(),
+            pending_replies: BTreeMap::new(),
+            external_waiting: BTreeMap::new(),
             server_jobs: EventQueue::new(),
-            barrier_counts: HashMap::new(),
+            barrier_counts: BTreeMap::new(),
             trace_interval: 0,
             trace: Vec::new(),
             last_trace_busy: 0,
@@ -836,19 +836,19 @@ where
 
     fn restore(&mut self, j: &flumen_sim::Json) -> Result<(), flumen_sim::JsonError> {
         use flumen_sim::FromJson;
-        self.barrier_counts = HashMap::from_json(j.get("barrier_counts")?)?;
+        self.barrier_counts = BTreeMap::from_json(j.get("barrier_counts")?)?;
         self.cores = Vec::from_json(j.get("cores")?)?;
         self.counts = ActivityCounts::from_json(j.get("counts")?)?;
         self.cycle = u64::from_json(j.get("cycle")?)?;
-        self.external_waiting = HashMap::from_json(j.get("external_waiting")?)?;
+        self.external_waiting = BTreeMap::from_json(j.get("external_waiting")?)?;
         caches_restore(&mut self.l1d, j.get("l1d")?, "SystemSim.l1d")?;
         caches_restore(&mut self.l2, j.get("l2")?, "SystemSim.l2")?;
         caches_restore(&mut self.l3, j.get("l3")?, "SystemSim.l3")?;
         self.last_trace_busy = u64::from_json(j.get("last_trace_busy")?)?;
         self.net.restore(j.get("net")?)?;
         self.next_tag = u64::from_json(j.get("next_tag")?)?;
-        self.pending_replies = HashMap::from_json(j.get("pending_replies")?)?;
-        self.pending_requests = HashMap::from_json(j.get("pending_requests")?)?;
+        self.pending_replies = BTreeMap::from_json(j.get("pending_replies")?)?;
+        self.pending_requests = BTreeMap::from_json(j.get("pending_requests")?)?;
         self.server.restore(j.get("server")?)?;
         self.server_jobs = EventQueue::from_json(j.get("server_jobs")?)?;
         self.trace = Vec::from_json(j.get("trace")?)?;

@@ -7,7 +7,7 @@
 //! fabric wires in the scheduler.
 
 use crate::event::{EventKind, TraceCategory, TraceEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Checks flit conservation: every `noc`/`pkt` async span that begins is
 /// ended exactly `ndest` times (the begin's `ndest` argument, default 1),
@@ -19,7 +19,7 @@ use std::collections::HashMap;
 /// before calling this.
 pub fn packet_conservation(events: &[TraceEvent]) -> Result<usize, String> {
     // id → (expected ends, seen ends)
-    let mut flights: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut flights: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for ev in events {
         if ev.category != TraceCategory::Noc || ev.name != "pkt" {
             continue;
@@ -85,7 +85,7 @@ pub fn packet_conservation(events: &[TraceEvent]) -> Result<usize, String> {
 /// may stop mid-partition).
 pub fn partition_alternation(events: &[TraceEvent]) -> Result<usize, String> {
     // wire → id of the partition currently holding it
-    let mut held: HashMap<u32, u64> = HashMap::new();
+    let mut held: BTreeMap<u32, u64> = BTreeMap::new();
     let mut grants = 0usize;
     for ev in events {
         if ev.category != TraceCategory::Scheduler || ev.name != "partition" {
