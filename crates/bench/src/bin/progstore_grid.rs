@@ -1,0 +1,135 @@
+//! `progstore_grid` — the CI determinism gate for the program library.
+//!
+//! Runs the same reduced benchmark × topology grid the golden-snapshot
+//! test pins (two small workloads on every fabric), plus a
+//! `PhotonicExecutor` pass that actually decomposes weight blocks
+//! through the store named by `FLUMEN_PROGSTORE_DIR` (when set), and
+//! prints one line:
+//!
+//! ```text
+//! grid_result_hash=<sha256 over grid rows + executor outputs>
+//! ```
+//!
+//! CI runs this binary twice against one shared store directory — cold,
+//! then warm — and asserts the hashes are byte-identical: store state
+//! may change wall-clock, never results. `FLUMEN_EXPECT_WARM=1` makes a
+//! run with zero store hits fail, so the warm leg proves the disk tier
+//! was actually exercised rather than silently bypassed. The sweep
+//! result cache uses a fresh temp dir per invocation, so the second run
+//! re-simulates everything instead of replaying cached rows.
+
+use flumen::{PhotonicExecutor, SystemTopology};
+use flumen_sweep::hash::sha256_hex;
+use flumen_sweep::{
+    run_plan, BenchKind, BenchSize, BenchSpec, JobSpec, Json, ProgramStore, SweepOptions,
+    SweepPlan, ToJson,
+};
+use std::process::ExitCode;
+
+/// The reduced golden grid: two structurally different workloads on all
+/// five topologies (the `flumen-sweep` golden-snapshot plan shape).
+fn reduced_grid() -> SweepPlan {
+    let cfg = flumen::RuntimeConfig::paper();
+    let mut plan = SweepPlan::new();
+    for kind in [BenchKind::ImageBlur, BenchKind::Rotation3d] {
+        for topology in SystemTopology::all() {
+            plan.push(JobSpec::FullRun {
+                bench: BenchSpec {
+                    kind,
+                    size: BenchSize::Small,
+                },
+                topology,
+                cfg: cfg.clone(),
+            });
+        }
+    }
+    plan
+}
+
+fn grid_rows() -> Vec<Json> {
+    let dir = std::env::temp_dir().join(format!(
+        "flumen-progstore-grid-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_plan(&reduced_grid(), &SweepOptions::serial_in(dir.clone()));
+    let rows = report
+        .results
+        .iter()
+        .map(|res| {
+            let r = res.full_run();
+            Json::obj([
+                ("bench", Json::Str(r.benchmark.clone())),
+                ("topology", Json::Str(r.topology.name().to_string())),
+                ("cycles", r.cycles.to_json()),
+                ("core_ops", r.counts.core_ops.to_json()),
+                ("nop_packets", r.counts.nop_packets.to_json()),
+                ("delivered", r.net_stats.delivered.to_json()),
+                ("seconds", r.seconds.to_json()),
+                ("energy_j", r.energy.total_j().to_json()),
+            ])
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+/// Streams every small benchmark through a store-backed executor — the
+/// path that really loads/stores partition programs on disk.
+fn executor_rows(store: Option<&ProgramStore>) -> Json {
+    let mut rows = Vec::new();
+    for bench in flumen_workloads::small_benchmarks() {
+        let n = if bench.name() == "jpeg" { 8 } else { 4 };
+        let mut exec = PhotonicExecutor::ideal(n);
+        if let Some(s) = store {
+            exec = exec.with_store(s.clone());
+        }
+        let results = exec
+            .run_benchmark(bench.as_ref(), Some(4))
+            .expect("benchmark executes");
+        let bits: Vec<Json> = results
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|v| v.to_bits().to_json())
+            .collect();
+        rows.push(Json::obj([
+            ("bench", Json::Str(bench.name().to_string())),
+            ("output_bits", Json::Arr(bits)),
+        ]));
+    }
+    Json::Arr(rows)
+}
+
+fn main() -> ExitCode {
+    let store = ProgramStore::from_env();
+    match &store {
+        Some(s) => println!("progstore_grid: store at {}", s.dir().display()),
+        None => println!("progstore_grid: no store (FLUMEN_PROGSTORE_DIR unset)"),
+    }
+
+    let doc = Json::obj([
+        ("grid", Json::Arr(grid_rows())),
+        ("executor", executor_rows(store.as_ref())),
+    ]);
+    println!(
+        "grid_result_hash={}",
+        sha256_hex(doc.to_canonical().as_bytes())
+    );
+
+    if let Some(s) = &store {
+        let st = s.stats();
+        println!(
+            "progstore_hits={} progstore_misses={} progstore_writes={} progstore_corrupt={}",
+            st.hits, st.misses, st.writes, st.corrupt
+        );
+        if std::env::var("FLUMEN_EXPECT_WARM").as_deref() == Ok("1") && st.hits == 0 {
+            eprintln!("error: FLUMEN_EXPECT_WARM=1 but the store served zero hits");
+            return ExitCode::FAILURE;
+        }
+    } else if std::env::var("FLUMEN_EXPECT_WARM").as_deref() == Ok("1") {
+        eprintln!("error: FLUMEN_EXPECT_WARM=1 requires FLUMEN_PROGSTORE_DIR");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

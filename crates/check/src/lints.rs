@@ -137,6 +137,7 @@ impl CheckConfig {
                 "core::scheduler".into(),
                 "photonics::fabric".into(),
                 "photonics::mesh".into(),
+                "photonics::progstore".into(),
                 "sim::event".into(),
                 "sim::kernel".into(),
                 "serve::queue".into(),

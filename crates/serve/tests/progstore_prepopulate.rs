@@ -1,0 +1,79 @@
+//! Startup pre-population of the shared program library.
+//!
+//! `flumen_served` warms a `ProgramStore` from the scenario's payload
+//! jobs before serving. Two contracts pinned here:
+//!
+//! 1. pre-population is host-side only — the serve result hash is
+//!    byte-identical with no store, a cold store, and a pre-warmed one;
+//! 2. a second replica prepopulating against the same directory
+//!    compiles nothing (all fleet-warm hits).
+
+use flumen_serve::{
+    prepopulate_program_store, run_scenario, ArrivalProcess, JobMix, ScenarioSpec, ServeConfig,
+};
+use flumen_sim::Cycles;
+use flumen_sweep::{JobSpec, ProgramStore};
+use flumen_trace::TraceHandle;
+
+fn mvm_spec(seed: u64) -> ScenarioSpec {
+    use flumen::{RuntimeConfig, SystemTopology};
+    use flumen_sweep::{BenchKind, BenchSize, BenchSpec};
+    let full = |kind| JobSpec::FullRun {
+        bench: BenchSpec {
+            kind,
+            size: BenchSize::Small,
+        },
+        topology: SystemTopology::FlumenA,
+        cfg: RuntimeConfig::paper(),
+    };
+    ScenarioSpec {
+        name: "prepop".into(),
+        process: ArrivalProcess::Poisson { rate: 60.0 },
+        horizon: Cycles::new(400_000),
+        clients: 2,
+        seed,
+        mix: JobMix::new(vec![
+            (2.0, full(BenchKind::Rotation3d)),
+            (1.0, full(BenchKind::ImageBlur)),
+        ]),
+    }
+}
+
+#[test]
+fn prepopulation_never_changes_the_result_hash_and_warms_the_fleet() {
+    let dir = std::env::temp_dir().join(format!("flumen-serve-prepop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = mvm_spec(0x51EE);
+    let cfg = ServeConfig::default();
+    let trace = TraceHandle::disabled();
+    let run = || {
+        run_scenario(&spec, &cfg, None, &trace)
+            .expect("serve")
+            .result_hash()
+    };
+
+    // Baseline: no program store anywhere.
+    let baseline = run();
+
+    // First replica pre-populates a cold store.
+    let store = ProgramStore::open(&dir).expect("store dir");
+    let first = prepopulate_program_store(&spec, 4, &store, 2, &trace);
+    assert!(
+        first.distinct_blocks > 0,
+        "MVM mix must yield weight blocks"
+    );
+    assert_eq!(first.compiled, first.distinct_blocks);
+    assert_eq!(first.warm_hits, 0);
+    assert_eq!(run(), baseline, "warm store changed the serve hash");
+
+    // Second replica against the same directory: all fleet-warm.
+    let replica = ProgramStore::open(&dir).expect("store dir");
+    let second = prepopulate_program_store(&spec, 4, &replica, 2, &trace);
+    assert_eq!(second.distinct_blocks, first.distinct_blocks);
+    assert_eq!(second.compiled, 0);
+    assert_eq!(second.warm_hits, second.distinct_blocks);
+    assert_eq!(run(), baseline, "fleet-warm store changed the serve hash");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
