@@ -31,6 +31,7 @@ fn main() {
         "fig13_energy_breakdown",
         "fig14_speedup",
         "fig15_edp",
+        "fig_torus",
         "abl_scheduler_sensitivity",
         "abl_reconfig_overhead",
         "abl_decomposition",

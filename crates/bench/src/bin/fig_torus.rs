@@ -1,0 +1,140 @@
+//! Baseline vs torus — the combinator layer's payoff, measured.
+//!
+//! Compares the hand-written 4×4 electrical mesh against the 4×4 torus
+//! composed from the latency-insensitive fabric combinators
+//! (`flumen_noc::fabric::torus`, ~100 lines of declarative wiring) under
+//! uniform random traffic: average latency and network energy per load
+//! point. Wrap-around links halve the average hop count, so the torus
+//! should sit below the mesh in both latency and bit-hop energy at every
+//! load before saturation.
+//!
+//! Points run as `JobSpec::NocStats` sweep jobs — topology is a
+//! serializable axis, so repeat runs are served from the content-hash
+//! cache — and the binary prints a digest of every result for two-run
+//! determinism comparison in CI.
+
+use flumen_bench::{quick_mode, run_sweep, write_csv, Table};
+use flumen_noc::harness::RunConfig;
+use flumen_noc::traffic::TrafficPattern;
+use flumen_power::{network_energy_j, EnergyParams, NopKind};
+use flumen_sweep::hash::sha256_hex;
+use flumen_sweep::{JobSpec, NetSpec, SweepPlan, ToJson};
+
+/// The offered-load axis (reduced under `--quick`).
+fn loads() -> Vec<f64> {
+    if quick_mode() {
+        vec![0.05, 0.20, 0.35]
+    } else {
+        (1..=8).map(|k| 0.05 * k as f64).collect()
+    }
+}
+
+/// The two topologies under comparison, table column order.
+fn nets() -> [NetSpec; 2] {
+    [
+        NetSpec::Mesh {
+            width: 4,
+            height: 4,
+        },
+        NetSpec::Torus {
+            width: 4,
+            height: 4,
+        },
+    ]
+}
+
+fn main() {
+    let cfg = if quick_mode() {
+        RunConfig {
+            warmup: 300,
+            measure: 2_000,
+            ..RunConfig::default()
+        }
+    } else {
+        RunConfig::default()
+    };
+    let mut plan = SweepPlan::new();
+    for &load in &loads() {
+        for net in nets() {
+            plan.push(JobSpec::NocStats {
+                net,
+                pattern: TrafficPattern::UniformRandom,
+                load,
+                cfg: cfg.clone(),
+            });
+        }
+    }
+    let report = run_sweep("fig_torus", &plan);
+
+    // Both fabrics are electrical input-queued routers, so the mesh
+    // energy model applies to each; only the measured bit-hops differ.
+    let params = EnergyParams::paper_7nm();
+    let seconds = cfg.measure as f64 / 2.5e9;
+
+    println!("Baseline 4x4 mesh vs combinator-built 4x4 torus (uniform random)");
+    let mut table = Table::new(&[
+        "load",
+        "mesh_lat",
+        "torus_lat",
+        "mesh_uJ",
+        "torus_uJ",
+        "bit_hop_ratio",
+    ]);
+    let mut rows = Vec::new();
+    let mut digest = String::new();
+    let mut points = report.results.iter();
+    for &load in &loads() {
+        let mut lat = [0.0f64; 2];
+        let mut energy = [0.0f64; 2];
+        let mut hops = [0u64; 2];
+        let mut saturated = [false; 2];
+        for (i, net) in nets().into_iter().enumerate() {
+            let result = points.next().expect("plan covers the grid");
+            let p = result.noc_stats();
+            lat[i] = p.latency.avg_latency;
+            saturated[i] = p.latency.saturated;
+            hops[i] = p.stats.bit_hops;
+            energy[i] = network_energy_j(&p.stats, seconds, NopKind::Mesh, &params);
+            digest.push_str(&result.to_json().to_canonical());
+            digest.push('\n');
+            rows.push(vec![
+                net.name().to_string(),
+                format!("{load:.2}"),
+                format!("{:.2}", p.latency.avg_latency),
+                p.latency.saturated.to_string(),
+                format!("{}", p.stats.bit_hops),
+                format!("{:.6e}", energy[i]),
+            ]);
+        }
+        let fmt_lat = |l: f64, sat: bool| {
+            if sat {
+                "sat".to_string()
+            } else {
+                format!("{l:.1}")
+            }
+        };
+        table.row(vec![
+            format!("{load:.2}"),
+            fmt_lat(lat[0], saturated[0]),
+            fmt_lat(lat[1], saturated[1]),
+            format!("{:.3}", energy[0] * 1e6),
+            format!("{:.3}", energy[1] * 1e6),
+            format!("{:.2}", hops[1] as f64 / hops[0].max(1) as f64),
+        ]);
+    }
+    table.print();
+    write_csv(
+        "fig_torus.csv",
+        &[
+            "topology",
+            "load",
+            "avg_latency",
+            "saturated",
+            "bit_hops",
+            "energy_j",
+        ],
+        &rows,
+    );
+    println!("\n  result digest: {}", sha256_hex(digest.as_bytes()));
+    println!("  expected shape: torus at or below mesh latency; bit_hop_ratio < 1 (wrap links shorten paths).");
+}

@@ -134,6 +134,7 @@ impl CheckConfig {
                 "noc::routed".into(),
                 "noc::bus".into(),
                 "noc::crossbar".into(),
+                "noc::fabric".into(),
                 "core::scheduler".into(),
                 "photonics::fabric".into(),
                 "photonics::mesh".into(),

@@ -57,6 +57,7 @@ impl TaintConfig {
                 "serve::exec".into(),
                 "serve::server".into(),
                 "serve::scenario".into(),
+                "noc::fabric".into(),
             ],
             exempt_modules: vec!["bench".into()],
         }

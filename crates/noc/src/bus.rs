@@ -11,11 +11,11 @@
 //! Multicast is free: optical power on the shared waveguide reaches every
 //! node's drop filters, so one transmission serves all destinations.
 
+use crate::fabric::{Fifo, FlightBuffer, RrToken};
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::{Network, NocError, Result};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
-use std::collections::VecDeque;
 
 /// Tuning parameters for an optical bus.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,14 +45,20 @@ impl Default for BusConfig {
 }
 
 /// A shared-waveguide optical bus network.
+///
+/// Built from the [`crate::fabric`] primitives — [`Fifo`] source queues,
+/// an [`RrToken`] for the circulating grant token, and a
+/// [`FlightBuffer`] for transmissions on the waveguide — with the exact
+/// cycle behavior and checkpoint bytes of the original hand-wired
+/// implementation.
 #[derive(Debug)]
 pub struct OpticalBus {
     nodes: usize,
     cfg: BusConfig,
-    src_queues: Vec<VecDeque<Packet>>,
+    src_queues: Vec<Fifo<Packet>>,
     bus_busy_until: Vec<u64>,
-    rr: usize,
-    in_flight: Vec<(u64, Packet)>,
+    rr: RrToken,
+    in_flight: FlightBuffer<Packet>,
     cycle: u64,
     stats: NetStats,
     tracer: TraceHandle,
@@ -74,10 +80,10 @@ impl OpticalBus {
         Ok(OpticalBus {
             nodes,
             cfg,
-            src_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            src_queues: (0..nodes).map(|_| Fifo::unbounded()).collect(),
             bus_busy_until: vec![0; buses],
-            rr: 0,
-            in_flight: Vec::new(),
+            rr: RrToken::new(),
+            in_flight: FlightBuffer::new(),
             cycle: 0,
             stats: NetStats::new(buses),
             tracer: TraceHandle::disabled(),
@@ -133,8 +139,7 @@ impl Network for OpticalBus {
                 continue;
             }
             // Scan nodes starting at the token position.
-            for k in 0..self.nodes {
-                let node = (self.rr + k) % self.nodes;
+            for node in self.rr.scan(self.nodes) {
                 if let Some(pkt) = self.src_queues[node].pop_front() {
                     let ser = pkt.ser_cycles(self.cfg.bus_bits_per_cycle);
                     let busy = now + self.cfg.arbitration_delay + ser;
@@ -154,41 +159,41 @@ impl Network for OpticalBus {
                             )
                         });
                     }
-                    self.in_flight.push((busy + self.cfg.port_latency, pkt));
-                    self.rr = (node + 1) % self.nodes;
+                    self.in_flight.push(busy + self.cfg.port_latency, pkt);
+                    self.rr.grant(node, self.nodes);
                     break;
                 }
             }
         }
         // Deliveries.
         let mut deliveries = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].0 <= now {
-                let (_, pkt) = self.in_flight.swap_remove(i);
-                for d in pkt.dests() {
-                    let lat = now.saturating_sub(pkt.created_at);
-                    self.stats.record_latency(lat);
-                    self.tracer.emit(|| {
-                        TraceEvent::new(
-                            TraceCategory::Noc,
-                            "pkt",
-                            EventKind::AsyncEnd,
-                            now,
-                            d as u32,
-                        )
-                        .with_id(pkt.id)
-                        .with_arg("lat", lat as f64)
-                    });
-                    let mut p = pkt.clone();
-                    p.dst = d;
-                    p.extra_dests.clear();
-                    deliveries.push(Delivery { packet: p, at: now });
-                }
-            } else {
-                i += 1;
+        let Self {
+            in_flight,
+            stats,
+            tracer,
+            ..
+        } = self;
+        in_flight.drain_due(now, |pkt| {
+            for d in pkt.dests() {
+                let lat = now.saturating_sub(pkt.created_at);
+                stats.record_latency(lat);
+                tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Noc,
+                        "pkt",
+                        EventKind::AsyncEnd,
+                        now,
+                        d as u32,
+                    )
+                    .with_id(pkt.id)
+                    .with_arg("lat", lat as f64)
+                });
+                let mut p = pkt.clone();
+                p.dst = d;
+                p.extra_dests.clear();
+                deliveries.push(Delivery { packet: p, at: now });
             }
-        }
+        });
         self.cycle += 1;
         self.stats.cycles += 1;
         deliveries
@@ -230,8 +235,8 @@ impl flumen_sim::Snapshotable for OpticalBus {
         use flumen_sim::FromJson;
         self.bus_busy_until = Vec::from_json(j.get("bus_busy_until")?)?;
         self.cycle = u64::from_json(j.get("cycle")?)?;
-        self.in_flight = Vec::from_json(j.get("in_flight")?)?;
-        self.rr = usize::from_json(j.get("rr")?)?;
+        self.in_flight = FlightBuffer::from_json(j.get("in_flight")?)?;
+        self.rr = RrToken::from_json(j.get("rr")?)?;
         self.src_queues = Vec::from_json(j.get("src_queues")?)?;
         self.stats = NetStats::from_json(j.get("stats")?)?;
         Ok(())

@@ -13,12 +13,12 @@
 //! receive, which is exactly the network-side effect of Algorithm 1 carving
 //! a compute partition out of the fabric.
 
+use crate::fabric::{Fifo, FlightBuffer};
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::wavefront::WavefrontArbiter;
 use crate::{Network, NocError, Result};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
-use std::collections::VecDeque;
 
 /// Tuning parameters for the MZIM crossbar.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,9 +51,9 @@ pub struct MzimCrossbar {
     /// Virtual output queues: `voq[i][j]` holds input `i`'s packets for
     /// output `j` (eliminates head-of-line blocking, as in the control
     /// unit's per-endpoint request buffers).
-    voq: Vec<Vec<VecDeque<Packet>>>,
+    voq: Vec<Vec<Fifo<Packet>>>,
     /// Multicast packets queue separately per input and are served first.
-    mcast_queues: Vec<VecDeque<Packet>>,
+    mcast_queues: Vec<Fifo<Packet>>,
     arb: WavefrontArbiter,
     in_busy_until: Vec<u64>,
     out_busy_until: Vec<u64>,
@@ -61,7 +61,7 @@ pub struct MzimCrossbar {
     last_config: Vec<Option<usize>>,
     /// Wires reserved for compute partitions.
     reserved: Vec<bool>,
-    in_flight: Vec<(u64, Packet)>,
+    in_flight: FlightBuffer<Packet>,
     cycle: u64,
     stats: NetStats,
     tracer: TraceHandle,
@@ -83,15 +83,15 @@ impl MzimCrossbar {
             nodes,
             cfg,
             voq: (0..nodes)
-                .map(|_| (0..nodes).map(|_| VecDeque::new()).collect())
+                .map(|_| (0..nodes).map(|_| Fifo::unbounded()).collect())
                 .collect(),
-            mcast_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            mcast_queues: (0..nodes).map(|_| Fifo::unbounded()).collect(),
             arb: WavefrontArbiter::new(nodes),
             in_busy_until: vec![0; nodes],
             out_busy_until: vec![0; nodes],
             last_config: vec![None; nodes],
             reserved: vec![false; nodes],
-            in_flight: Vec::new(),
+            in_flight: FlightBuffer::new(),
             cycle: 0,
             stats: NetStats::new(nodes),
             tracer: TraceHandle::disabled(),
@@ -160,9 +160,7 @@ impl MzimCrossbar {
     /// buffer state used for the β utilization estimate (Algorithm 1).
     pub fn queue_depths(&self) -> Vec<usize> {
         (0..self.nodes)
-            .map(|i| {
-                self.voq[i].iter().map(VecDeque::len).sum::<usize>() + self.mcast_queues[i].len()
-            })
+            .map(|i| self.voq[i].iter().map(Fifo::len).sum::<usize>() + self.mcast_queues[i].len())
             .collect()
     }
 
@@ -207,7 +205,7 @@ impl MzimCrossbar {
                 )
             });
         }
-        self.in_flight.push((busy + self.cfg.port_latency, pkt));
+        self.in_flight.push(busy + self.cfg.port_latency, pkt);
     }
 }
 
@@ -291,33 +289,33 @@ impl Network for MzimCrossbar {
         }
         // Deliveries.
         let mut deliveries = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].0 <= now {
-                let (_, pkt) = self.in_flight.swap_remove(i);
-                for d in pkt.dests() {
-                    let lat = now.saturating_sub(pkt.created_at);
-                    self.stats.record_latency(lat);
-                    self.tracer.emit(|| {
-                        TraceEvent::new(
-                            TraceCategory::Noc,
-                            "pkt",
-                            EventKind::AsyncEnd,
-                            now,
-                            d as u32,
-                        )
-                        .with_id(pkt.id)
-                        .with_arg("lat", lat as f64)
-                    });
-                    let mut p = pkt.clone();
-                    p.dst = d;
-                    p.extra_dests.clear();
-                    deliveries.push(Delivery { packet: p, at: now });
-                }
-            } else {
-                i += 1;
+        let Self {
+            in_flight,
+            stats,
+            tracer,
+            ..
+        } = self;
+        in_flight.drain_due(now, |pkt| {
+            for d in pkt.dests() {
+                let lat = now.saturating_sub(pkt.created_at);
+                stats.record_latency(lat);
+                tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Noc,
+                        "pkt",
+                        EventKind::AsyncEnd,
+                        now,
+                        d as u32,
+                    )
+                    .with_id(pkt.id)
+                    .with_arg("lat", lat as f64)
+                });
+                let mut p = pkt.clone();
+                p.dst = d;
+                p.extra_dests.clear();
+                deliveries.push(Delivery { packet: p, at: now });
             }
-        }
+        });
         self.cycle += 1;
         self.stats.cycles += 1;
         deliveries
@@ -367,7 +365,7 @@ impl flumen_sim::Snapshotable for MzimCrossbar {
             .set_priority(usize::from_json(j.get("arb_priority")?)?);
         self.cycle = u64::from_json(j.get("cycle")?)?;
         self.in_busy_until = Vec::from_json(j.get("in_busy_until")?)?;
-        self.in_flight = Vec::from_json(j.get("in_flight")?)?;
+        self.in_flight = FlightBuffer::from_json(j.get("in_flight")?)?;
         self.last_config = Vec::from_json(j.get("last_config")?)?;
         self.mcast_queues = Vec::from_json(j.get("mcast_queues")?)?;
         self.out_busy_until = Vec::from_json(j.get("out_busy_until")?)?;

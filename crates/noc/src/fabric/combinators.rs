@@ -1,0 +1,452 @@
+//! Stock components: `fifo`, `comb`/`map`, `filter`, `fsm`, `fork`,
+//! `join`/`arbiter`.
+//!
+//! Each constructor returns a value implementing [`Node`]; hand it to
+//! [`FabricBuilder::add`](super::FabricBuilder::add) and it participates
+//! in the handshake, snapshotting, and tracing like any router.
+
+use super::arbiter::RrToken;
+use super::channel::{ChannelId, Channels};
+use super::fifo::Fifo;
+use super::node::{Interface, Node, NodeCtx, Payload};
+use flumen_sim::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// Whether `out` can accept one more send this cycle: the consumer
+/// published a free slot not already claimed, and the wire has room.
+fn out_ready<P>(chans: &Channels<P>, out: ChannelId) -> bool {
+    chans.effective_credits(out) >= 1 && chans.can_send(out)
+}
+
+// ---------------------------------------------------------------------
+// fsm / comb / map / filter
+// ---------------------------------------------------------------------
+
+/// A one-in one-out Mealy machine: state `S` plus a transition closure
+/// `FnMut(now, &mut S, input) -> Option<output>`. Returning `None`
+/// consumes the input without emitting (a `filter`); this breaks flit
+/// conservation by design, so packet-carrying fabrics should only use
+/// payload-preserving transitions.
+pub struct FsmNode<P, S, F> {
+    label: String,
+    input: ChannelId,
+    output: ChannelId,
+    state: S,
+    slot: Option<P>,
+    f: F,
+}
+
+impl<P, S, F> fmt::Debug for FsmNode<P, S, F>
+where
+    P: fmt::Debug,
+    S: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FsmNode")
+            .field("label", &self.label)
+            .field("state", &self.state)
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, S, F> Interface for FsmNode<P, S, F> {
+    fn inputs(&self) -> Vec<ChannelId> {
+        vec![self.input]
+    }
+    fn outputs(&self) -> Vec<ChannelId> {
+        vec![self.output]
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl<P, S, F> Node<P> for FsmNode<P, S, F>
+where
+    P: Payload,
+    S: fmt::Debug + ToJson + FromJson + 'static,
+    F: FnMut(u64, &mut S, P) -> Option<P> + 'static,
+{
+    fn publish_ready(&mut self, _now: u64, chans: &mut Channels<P>) {
+        chans.publish_credits(self.input, usize::from(self.slot.is_none()));
+    }
+
+    fn step(&mut self, now: u64, chans: &mut Channels<P>, _ctx: &mut NodeCtx<'_>) {
+        if self.slot.is_none() {
+            if let Some(p) = chans.take(self.input) {
+                self.slot = (self.f)(now, &mut self.state, p);
+            }
+        }
+        if self.slot.is_some() && out_ready(chans, self.output) {
+            if let Some(p) = self.slot.take() {
+                chans.send(self.output, p, now);
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        usize::from(self.slot.is_some())
+    }
+
+    fn state_json(&self) -> Json {
+        Json::obj([
+            ("slot", self.slot.to_json()),
+            ("state", self.state.to_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError> {
+        self.slot = Option::from_json(j.get("slot")?)?;
+        self.state = S::from_json(j.get("state")?)?;
+        Ok(())
+    }
+}
+
+/// A stateful Mealy component (see [`FsmNode`]).
+pub fn fsm<P, S, F>(
+    label: impl Into<String>,
+    input: ChannelId,
+    output: ChannelId,
+    init: S,
+    f: F,
+) -> FsmNode<P, S, F>
+where
+    P: Payload,
+    S: fmt::Debug + ToJson + FromJson + 'static,
+    F: FnMut(u64, &mut S, P) -> Option<P> + 'static,
+{
+    FsmNode {
+        label: label.into(),
+        input,
+        output,
+        state: init,
+        slot: None,
+        f,
+    }
+}
+
+/// A pure combinational transform lifted into the handshake (ShakeFlow's
+/// `comb`): every input produces exactly one output, so conservation
+/// holds through it.
+pub fn comb<P, F>(
+    label: impl Into<String>,
+    input: ChannelId,
+    output: ChannelId,
+    mut f: F,
+) -> FsmNode<P, (), impl FnMut(u64, &mut (), P) -> Option<P>>
+where
+    P: Payload,
+    F: FnMut(P) -> P + 'static,
+{
+    fsm(label, input, output, (), move |_, _, p| Some(f(p)))
+}
+
+/// Stream-idiom alias for [`comb`]: transform each payload in place.
+pub fn map<P, F>(
+    label: impl Into<String>,
+    input: ChannelId,
+    output: ChannelId,
+    f: F,
+) -> FsmNode<P, (), impl FnMut(u64, &mut (), P) -> Option<P>>
+where
+    P: Payload,
+    F: FnMut(P) -> P + 'static,
+{
+    comb(label, input, output, f)
+}
+
+/// Drops payloads failing the predicate; the drop count rides in the
+/// node's serialized state. Not conservation-safe — use on telemetry or
+/// control streams, never on packet paths covered by the conservation
+/// proptests.
+pub fn filter<P, F>(
+    label: impl Into<String>,
+    input: ChannelId,
+    output: ChannelId,
+    mut pred: F,
+) -> FsmNode<P, u64, impl FnMut(u64, &mut u64, P) -> Option<P>>
+where
+    P: Payload,
+    F: FnMut(&P) -> bool + 'static,
+{
+    fsm(label, input, output, 0u64, move |_, dropped, p| {
+        if pred(&p) {
+            Some(p)
+        } else {
+            *dropped += 1;
+            None
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// fifo
+// ---------------------------------------------------------------------
+
+/// An elastic buffer: absorbs up to `capacity` payloads and forwards one
+/// per cycle when the downstream is ready.
+#[derive(Debug)]
+pub struct FifoNode<P> {
+    label: String,
+    input: ChannelId,
+    output: ChannelId,
+    buf: Fifo<P>,
+}
+
+impl<P> Interface for FifoNode<P> {
+    fn inputs(&self) -> Vec<ChannelId> {
+        vec![self.input]
+    }
+    fn outputs(&self) -> Vec<ChannelId> {
+        vec![self.output]
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl<P: Payload> Node<P> for FifoNode<P> {
+    fn publish_ready(&mut self, _now: u64, chans: &mut Channels<P>) {
+        chans.publish_credits(self.input, self.buf.free_slots());
+    }
+
+    fn step(&mut self, now: u64, chans: &mut Channels<P>, _ctx: &mut NodeCtx<'_>) {
+        if let Some(p) = chans.take(self.input) {
+            let _accepted = self.buf.push_back(p);
+            debug_assert!(_accepted, "fifo accepted beyond its published credits");
+        }
+        if !self.buf.is_empty() && out_ready(chans, self.output) {
+            if let Some(p) = self.buf.pop_front() {
+                chans.send(self.output, p, now);
+            }
+        }
+        #[cfg(feature = "deep-trace")]
+        {
+            let occ = self.buf.len();
+            let track = self.input.index() as u32;
+            _ctx.tracer.emit(|| {
+                flumen_trace::TraceEvent::counter(
+                    flumen_trace::TraceCategory::Noc,
+                    "noc::fifo_occupancy",
+                    now,
+                    track,
+                    occ as f64,
+                )
+            });
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn state_json(&self) -> Json {
+        self.buf.to_json()
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError> {
+        self.buf.restore_items(j)
+    }
+}
+
+/// An elastic FIFO stage (see [`FifoNode`]).
+pub fn fifo<P: Payload>(
+    label: impl Into<String>,
+    input: ChannelId,
+    output: ChannelId,
+    capacity: usize,
+) -> FifoNode<P> {
+    FifoNode {
+        label: label.into(),
+        input,
+        output,
+        buf: Fifo::bounded(capacity.max(1)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// fork
+// ---------------------------------------------------------------------
+
+/// Replicates each payload to every output. The copy waits until *all*
+/// outputs can accept (lock-step fork, as in ShakeFlow) so no branch ever
+/// observes a partial replica.
+#[derive(Debug)]
+pub struct ForkNode<P> {
+    label: String,
+    input: ChannelId,
+    outputs: Vec<ChannelId>,
+    slot: Option<P>,
+}
+
+impl<P> Interface for ForkNode<P> {
+    fn inputs(&self) -> Vec<ChannelId> {
+        vec![self.input]
+    }
+    fn outputs(&self) -> Vec<ChannelId> {
+        self.outputs.clone()
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl<P: Payload> Node<P> for ForkNode<P> {
+    fn publish_ready(&mut self, _now: u64, chans: &mut Channels<P>) {
+        chans.publish_credits(self.input, usize::from(self.slot.is_none()));
+    }
+
+    fn step(&mut self, now: u64, chans: &mut Channels<P>, _ctx: &mut NodeCtx<'_>) {
+        if self.slot.is_none() {
+            self.slot = chans.take(self.input);
+        }
+        let all_ready = self.outputs.iter().all(|&o| out_ready(chans, o));
+        if all_ready {
+            if let Some(p) = self.slot.take() {
+                for &o in &self.outputs {
+                    chans.send(o, p.clone(), now);
+                }
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        usize::from(self.slot.is_some())
+    }
+
+    fn state_json(&self) -> Json {
+        self.slot.to_json()
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError> {
+        self.slot = Option::from_json(j)?;
+        Ok(())
+    }
+}
+
+/// A lock-step replicating fork (see [`ForkNode`]).
+pub fn fork<P: Payload>(
+    label: impl Into<String>,
+    input: ChannelId,
+    outputs: Vec<ChannelId>,
+) -> ForkNode<P> {
+    ForkNode {
+        label: label.into(),
+        input,
+        outputs,
+        slot: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// join / arbiter
+// ---------------------------------------------------------------------
+
+/// Merges several input streams into one output, granting one payload per
+/// cycle by round-robin arbitration over small per-input buffers.
+#[derive(Debug)]
+pub struct JoinNode<P> {
+    label: String,
+    inputs: Vec<ChannelId>,
+    output: ChannelId,
+    bufs: Vec<Fifo<P>>,
+    rr: RrToken,
+}
+
+impl<P> Interface for JoinNode<P> {
+    fn inputs(&self) -> Vec<ChannelId> {
+        self.inputs.clone()
+    }
+    fn outputs(&self) -> Vec<ChannelId> {
+        vec![self.output]
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl<P: Payload> Node<P> for JoinNode<P> {
+    fn publish_ready(&mut self, _now: u64, chans: &mut Channels<P>) {
+        for (buf, &c) in self.bufs.iter().zip(&self.inputs) {
+            chans.publish_credits(c, buf.free_slots());
+        }
+    }
+
+    fn step(&mut self, now: u64, chans: &mut Channels<P>, _ctx: &mut NodeCtx<'_>) {
+        for (buf, &c) in self.bufs.iter_mut().zip(&self.inputs) {
+            if let Some(p) = chans.take(c) {
+                let _accepted = buf.push_back(p);
+                debug_assert!(_accepted, "join accepted beyond its published credits");
+            }
+        }
+        if out_ready(chans, self.output) {
+            let n = self.bufs.len();
+            for i in self.rr.scan(n) {
+                let Some(p) = self.bufs.get_mut(i).and_then(Fifo::pop_front) else {
+                    continue;
+                };
+                chans.send(self.output, p, now);
+                self.rr.grant(i, n);
+                break;
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.bufs.iter().map(Fifo::len).sum()
+    }
+
+    fn state_json(&self) -> Json {
+        Json::obj([("bufs", self.bufs.to_json()), ("rr", self.rr.to_json())])
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError> {
+        let bufs = j.get("bufs")?;
+        let arr = bufs.as_arr()?;
+        if arr.len() != self.bufs.len() {
+            return Err(JsonError(format!(
+                "JoinNode {}: snapshot has {} buffers, node has {}",
+                self.label,
+                arr.len(),
+                self.bufs.len()
+            )));
+        }
+        for (buf, bj) in self.bufs.iter_mut().zip(arr) {
+            buf.restore_items(bj)?;
+        }
+        self.rr = RrToken::from_json(j.get("rr")?)?;
+        Ok(())
+    }
+}
+
+/// A round-robin merging join (see [`JoinNode`]).
+pub fn join<P: Payload>(
+    label: impl Into<String>,
+    inputs: Vec<ChannelId>,
+    output: ChannelId,
+    buf_capacity: usize,
+) -> JoinNode<P> {
+    let bufs = inputs
+        .iter()
+        .map(|_| Fifo::bounded(buf_capacity.max(1)))
+        .collect();
+    JoinNode {
+        label: label.into(),
+        inputs,
+        output,
+        bufs,
+        rr: RrToken::new(),
+    }
+}
+
+/// Alias for [`join`]: an N-requester round-robin arbiter over one shared
+/// resource is exactly a merging join.
+pub fn arbiter<P: Payload>(
+    label: impl Into<String>,
+    inputs: Vec<ChannelId>,
+    output: ChannelId,
+    buf_capacity: usize,
+) -> JoinNode<P> {
+    join(label, inputs, output, buf_capacity)
+}

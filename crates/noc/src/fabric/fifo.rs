@@ -1,0 +1,155 @@
+//! The buffering primitive shared by the legacy fabrics and the
+//! combinator layer.
+
+use flumen_sim::{FromJson, Json, JsonError, ToJson};
+use std::collections::VecDeque;
+
+/// A FIFO of payloads with optional bounded capacity.
+///
+/// Serializes exactly like the `VecDeque` it wraps (a JSON array of
+/// items), so the hand-written fabrics swapped their raw queues for
+/// `Fifo` without changing a byte of any checkpoint. Capacity is
+/// construction-time geometry, deliberately not serialized — restore
+/// happens into an already-constructed topology.
+#[derive(Debug, Clone)]
+pub struct Fifo<P> {
+    items: VecDeque<P>,
+    capacity: Option<usize>,
+}
+
+impl<P> Fifo<P> {
+    /// A FIFO with no capacity limit (open-loop source queues).
+    pub fn unbounded() -> Self {
+        Fifo {
+            items: VecDeque::new(),
+            capacity: None,
+        }
+    }
+
+    /// A FIFO holding at most `capacity` items.
+    pub fn bounded(capacity: usize) -> Self {
+        Fifo {
+            items: VecDeque::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Appends an item; returns `false` (item dropped by the caller's
+    /// choice to check first) when the FIFO is full.
+    pub fn push_back(&mut self, item: P) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.items.push_back(item);
+        true
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop_front(&mut self) -> Option<P> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item, if any.
+    pub fn front(&self) -> Option<&P> {
+        self.items.front()
+    }
+
+    /// Queue occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether another `push_back` would be refused.
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.items.len() >= c)
+    }
+
+    /// Free slots remaining (`usize::MAX` when unbounded) — the credit
+    /// count a consumer publishes on its input channel.
+    pub fn free_slots(&self) -> usize {
+        match self.capacity {
+            Some(c) => c.saturating_sub(self.items.len()),
+            None => usize::MAX,
+        }
+    }
+
+    /// The configured capacity (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &P> {
+        self.items.iter()
+    }
+}
+
+impl<P: FromJson> Fifo<P> {
+    /// Restores the queue contents in place, keeping the configured
+    /// capacity (checkpoint restore happens into a freshly-built
+    /// topology whose geometry is not serialized).
+    pub fn restore_items(&mut self, j: &Json) -> Result<(), JsonError> {
+        self.items = VecDeque::from_json(j)?;
+        Ok(())
+    }
+}
+
+impl<P: ToJson> ToJson for Fifo<P> {
+    fn to_json(&self) -> Json {
+        self.items.to_json()
+    }
+}
+
+impl<P: FromJson> FromJson for Fifo<P> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Fifo {
+            items: VecDeque::from_json(j)?,
+            capacity: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_refuses_overflow() {
+        let mut f = Fifo::bounded(2);
+        assert!(f.push_back(1));
+        assert!(f.push_back(2));
+        assert!(!f.push_back(3));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.free_slots(), 0);
+        assert_eq!(f.pop_front(), Some(1));
+        assert_eq!(f.free_slots(), 1);
+    }
+
+    #[test]
+    fn unbounded_always_accepts() {
+        let mut f = Fifo::unbounded();
+        for i in 0..100 {
+            assert!(f.push_back(i));
+        }
+        assert_eq!(f.free_slots(), usize::MAX);
+        assert_eq!(f.capacity(), None);
+    }
+
+    #[test]
+    fn json_matches_vecdeque() {
+        let mut f: Fifo<u64> = Fifo::bounded(8);
+        f.push_back(3);
+        f.push_back(7);
+        let mut v: VecDeque<u64> = VecDeque::new();
+        v.push_back(3);
+        v.push_back(7);
+        assert_eq!(f.to_json().to_canonical(), v.to_json().to_canonical());
+        let back = Fifo::<u64>::from_json(&f.to_json()).unwrap();
+        assert_eq!(back.iter().copied().collect::<Vec<_>>(), vec![3, 7]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Wiring components into a steppable, checkpointable fabric.
+
+use super::channel::{ChannelId, Channels, CREDIT_UNBOUNDED};
+use super::node::{Node, NodeCtx, Payload};
+use super::router::Flit;
+use crate::packet::{Delivery, Packet};
+use crate::stats::NetStats;
+use crate::{Network, NocError, Result};
+use flumen_sim::{FromJson, Json, JsonError, ToJson};
+use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
+use std::collections::VecDeque;
+
+/// One external attachment point: where the fabric accepts payloads from
+/// a source queue and where it hands them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Channel carrying injected payloads into the fabric.
+    pub ingress: ChannelId,
+    /// Channel carrying delivered payloads out of the fabric.
+    pub egress: ChannelId,
+}
+
+/// Collects channels and components, then validates the wiring.
+#[derive(Debug)]
+pub struct FabricBuilder<P: Payload> {
+    chans: Channels<P>,
+    nodes: Vec<Box<dyn Node<P>>>,
+}
+
+impl<P: Payload> Default for FabricBuilder<P> {
+    fn default() -> Self {
+        FabricBuilder::new()
+    }
+}
+
+impl<P: Payload> FabricBuilder<P> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FabricBuilder {
+            chans: Channels::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a channel (wire latency clamped to ≥ 1 cycle, in-flight
+    /// capacity clamped to ≥ 1).
+    pub fn channel(&mut self, latency: u64, capacity: usize) -> ChannelId {
+        self.chans.add(latency, capacity)
+    }
+
+    /// Adds a component; its [`Interface`](super::Interface) ports are
+    /// validated at [`FabricBuilder::build`].
+    pub fn add(&mut self, node: impl Node<P> + 'static) -> usize {
+        self.nodes.push(Box::new(node));
+        self.nodes.len() - 1
+    }
+
+    /// Validates the wiring and produces the steppable graph. Every
+    /// channel must have exactly one producer (a node output or an
+    /// endpoint ingress) and exactly one consumer (a node input or an
+    /// endpoint egress).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidTopology`] naming the first mis-wired
+    /// channel.
+    pub fn build(self, endpoints: Vec<Endpoint>) -> Result<ComposedGraph<P>> {
+        let n = self.chans.len();
+        let mut producers = vec![0usize; n];
+        let mut consumers = vec![0usize; n];
+        let tally = |counts: &mut Vec<usize>, id: ChannelId, what: &str| -> Result<()> {
+            match counts.get_mut(id.index()) {
+                Some(c) => {
+                    *c += 1;
+                    Ok(())
+                }
+                None => Err(NocError::InvalidTopology {
+                    reason: format!("{what} references unknown channel {}", id.index()),
+                }),
+            }
+        };
+        for node in &self.nodes {
+            for c in node.outputs() {
+                tally(&mut producers, c, &node.name())?;
+            }
+            for c in node.inputs() {
+                tally(&mut consumers, c, &node.name())?;
+            }
+        }
+        for (k, ep) in endpoints.iter().enumerate() {
+            tally(&mut producers, ep.ingress, &format!("endpoint {k} ingress"))?;
+            tally(&mut consumers, ep.egress, &format!("endpoint {k} egress"))?;
+        }
+        for (i, (&p, &c)) in producers.iter().zip(&consumers).enumerate() {
+            if p != 1 || c != 1 {
+                return Err(NocError::InvalidTopology {
+                    reason: format!(
+                        "channel {i} has {p} producer(s) and {c} consumer(s); \
+                         expected exactly one of each"
+                    ),
+                });
+            }
+        }
+        Ok(ComposedGraph {
+            chans: self.chans,
+            nodes: self.nodes,
+            endpoints,
+        })
+    }
+}
+
+/// A validated component graph, steppable one cycle at a time.
+///
+/// Generic over the payload so combinator pipelines can be exercised with
+/// plain values; packet-carrying fabrics wrap it in [`ComposedFabric`].
+#[derive(Debug)]
+pub struct ComposedGraph<P: Payload> {
+    chans: Channels<P>,
+    nodes: Vec<Box<dyn Node<P>>>,
+    endpoints: Vec<Endpoint>,
+}
+
+impl<P: Payload> ComposedGraph<P> {
+    /// The external attachment points, in endpoint order.
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// The channel arena (handshake counters, pending payloads).
+    pub fn channels(&self) -> &Channels<P> {
+        &self.chans
+    }
+
+    /// Payloads anywhere inside the fabric (channels + node buffers).
+    pub fn pending(&self) -> usize {
+        self.chans.pending() + self.nodes.iter().map(|n| n.buffered()).sum::<usize>()
+    }
+
+    /// Runs one cycle of the phased evaluation order (see the module
+    /// docs). `source` is called once per endpoint whose ingress can
+    /// accept a payload this cycle; returns `(endpoint, payload)` pairs
+    /// delivered at the egresses, in endpoint order.
+    pub fn step_cycle(
+        &mut self,
+        now: u64,
+        ctx: &mut NodeCtx<'_>,
+        mut source: impl FnMut(usize) -> Option<P>,
+    ) -> Vec<(usize, P)> {
+        // Phase 1: ready — credits from pre-cycle state.
+        for node in &mut self.nodes {
+            node.publish_ready(now, &mut self.chans);
+        }
+        for ep in &self.endpoints {
+            self.chans.publish_credits(ep.egress, CREDIT_UNBOUNDED);
+        }
+        // Phase 2: ingress — at most one payload per endpoint.
+        for (k, ep) in self.endpoints.iter().enumerate() {
+            if self.chans.effective_credits(ep.ingress) >= 1 && self.chans.can_send(ep.ingress) {
+                if let Some(p) = source(k) {
+                    self.chans.send(ep.ingress, p, now);
+                }
+            }
+        }
+        // Phase 3: valid — due heads move to consumers with credits.
+        let stalled = self.chans.deliver_due(now);
+        if !stalled.is_empty() {
+            let total = self.chans.stalls_total();
+            ctx.tracer.emit(|| {
+                TraceEvent::counter(
+                    TraceCategory::Noc,
+                    "noc::handshake_stall",
+                    now,
+                    0,
+                    total as f64,
+                )
+            });
+            #[cfg(feature = "deep-trace")]
+            for id in &stalled {
+                let per_port = self.chans.stalls(*id);
+                let track = id.index() as u32;
+                ctx.tracer.emit(|| {
+                    TraceEvent::counter(
+                        TraceCategory::Noc,
+                        "noc::backpressure",
+                        now,
+                        track,
+                        per_port as f64,
+                    )
+                });
+            }
+        }
+        // Phase 4: step every node.
+        for node in &mut self.nodes {
+            node.step(now, &mut self.chans, ctx);
+        }
+        // Phase 5: egress.
+        let mut out = Vec::new();
+        for (k, ep) in self.endpoints.iter().enumerate() {
+            if let Some(p) = self.chans.take(ep.egress) {
+                out.push((k, p));
+            }
+        }
+        // Defensive: a mis-behaved node must not lose payloads.
+        self.chans.requeue_undelivered(now);
+        out
+    }
+
+    /// Serializes every channel's and node's evolving state.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("channels", self.chans.snapshot()),
+            (
+                "nodes",
+                Json::Arr(self.nodes.iter().map(|n| n.state_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Restores a snapshot into this (identically built) graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the snapshot does not match the
+    /// graph's shape.
+    pub fn restore(&mut self, j: &Json) -> std::result::Result<(), JsonError> {
+        self.chans.restore(j.get("channels")?)?;
+        let nodes = j.get("nodes")?;
+        let arr = nodes.as_arr()?;
+        if arr.len() != self.nodes.len() {
+            return Err(JsonError(format!(
+                "ComposedGraph: snapshot has {} nodes, graph has {}",
+                arr.len(),
+                self.nodes.len()
+            )));
+        }
+        for (node, nj) in self.nodes.iter_mut().zip(arr) {
+            node.restore_state(nj)?;
+        }
+        Ok(())
+    }
+}
+
+/// A composed packet fabric: a [`ComposedGraph`] over [`Flit`]s plus the
+/// open-loop source queues, statistics, and tracing that make it a
+/// drop-in [`Network`] — usable by the harness, the sweep executor, and
+/// the system engine exactly like the hand-written fabrics.
+#[derive(Debug)]
+pub struct ComposedFabric {
+    name: String,
+    graph: ComposedGraph<Flit>,
+    src_queues: Vec<VecDeque<Packet>>,
+    cycle: u64,
+    stats: NetStats,
+    tracer: TraceHandle,
+}
+
+impl ComposedFabric {
+    /// Wraps a validated flit graph. The link count (for per-link
+    /// utilization) is the graph's channel count.
+    pub fn new(name: impl Into<String>, graph: ComposedGraph<Flit>) -> Self {
+        let nodes = graph.endpoints().len();
+        let links = graph.channels().len();
+        ComposedFabric {
+            name: name.into(),
+            graph,
+            src_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            cycle: 0,
+            stats: NetStats::new(links),
+            tracer: TraceHandle::disabled(),
+        }
+    }
+
+    /// The fabric's display name ("torus", …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Handshake stalls observed so far (backpressure pressure gauge).
+    pub fn handshake_stalls(&self) -> u64 {
+        self.graph.channels().stalls_total()
+    }
+
+    /// Completed channel handshakes so far.
+    pub fn handshake_transfers(&self) -> u64 {
+        self.graph.channels().transfers_total()
+    }
+}
+
+impl Network for ComposedFabric {
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.src_queues.len()
+    }
+
+    fn inject(&mut self, pkt: Packet) {
+        // Composed fabrics are electrical-style: multicasts replicate at
+        // the source, each replica with its own id and trace span.
+        if pkt.is_multicast() {
+            for (i, d) in pkt.dests().into_iter().enumerate() {
+                let mut p = pkt.clone();
+                p.dst = d;
+                p.extra_dests.clear();
+                p.id = pkt.id.wrapping_add((i as u64) << 48);
+                self.inject(p);
+            }
+            return;
+        }
+        self.stats.injected += 1;
+        self.stats.bits_injected += pkt.bits as u64;
+        let now = self.cycle;
+        self.tracer.emit(|| {
+            TraceEvent::new(
+                TraceCategory::Noc,
+                "pkt",
+                EventKind::AsyncBegin,
+                now,
+                pkt.src as u32,
+            )
+            .with_id(pkt.id)
+            .with_arg("ndest", 1.0)
+            .with_arg("bits", pkt.bits as f64)
+        });
+        if let Some(q) = self.src_queues.get_mut(pkt.src) {
+            q.push_back(pkt);
+        }
+    }
+
+    fn step(&mut self) -> Vec<Delivery> {
+        let now = self.cycle;
+        let Self {
+            graph,
+            src_queues,
+            stats,
+            tracer,
+            ..
+        } = self;
+        let mut ctx = NodeCtx { stats, tracer };
+        let egressed = graph.step_cycle(now, &mut ctx, |ep| {
+            src_queues
+                .get_mut(ep)
+                .and_then(VecDeque::pop_front)
+                .map(|pkt| Flit { pkt, ready_at: 0 })
+        });
+        let mut deliveries = Vec::with_capacity(egressed.len());
+        for (ep, flit) in egressed {
+            let lat = now.saturating_sub(flit.pkt.created_at);
+            self.stats.record_latency(lat);
+            self.tracer.emit(|| {
+                TraceEvent::new(
+                    TraceCategory::Noc,
+                    "pkt",
+                    EventKind::AsyncEnd,
+                    now,
+                    ep as u32,
+                )
+                .with_id(flit.pkt.id)
+                .with_arg("lat", lat as f64)
+            });
+            deliveries.push(Delivery {
+                packet: flit.pkt,
+                at: now,
+            });
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        deliveries
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    fn pending(&self) -> usize {
+        self.src_queues.iter().map(VecDeque::len).sum::<usize>() + self.graph.pending()
+    }
+}
+
+// Checkpoint support: the graph serializes its channels and nodes; the
+// fabric adds the open-loop state around it.
+impl flumen_sim::Snapshotable for ComposedFabric {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("cycle", self.cycle.to_json()),
+            ("graph", self.graph.snapshot()),
+            ("src_queues", self.src_queues.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    fn restore(&mut self, j: &Json) -> std::result::Result<(), JsonError> {
+        self.cycle = u64::from_json(j.get("cycle")?)?;
+        self.graph.restore(j.get("graph")?)?;
+        let src_queues: Vec<VecDeque<Packet>> = Vec::from_json(j.get("src_queues")?)?;
+        if src_queues.len() != self.src_queues.len() {
+            return Err(JsonError(format!(
+                "ComposedFabric: snapshot has {} source queues, fabric has {}",
+                src_queues.len(),
+                self.src_queues.len()
+            )));
+        }
+        self.src_queues = src_queues;
+        self.stats = NetStats::from_json(j.get("stats")?)?;
+        Ok(())
+    }
+}

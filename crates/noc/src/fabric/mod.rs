@@ -1,0 +1,65 @@
+//! Latency-insensitive fabric combinators.
+//!
+//! This module turns a router, link, arbiter, or FIFO into a *value you
+//! compose* rather than a struct you hand-wire. The design follows the
+//! latency-insensitive interface discipline of ShakeFlow (ASPLOS 2023):
+//! components talk over [`Channel`]s with a ready/valid handshake, each
+//! component declares its ports through the [`Interface`] trait, and a
+//! [`FabricBuilder`] wires them into a [`ComposedFabric`] that implements
+//! the crate's [`Network`](crate::Network) trait — snapshotable, traceable,
+//! and covered by the same flit-conservation proptests as the hand-written
+//! fabrics.
+//!
+//! # Handshake semantics
+//!
+//! Each cycle runs in fixed phases so that results never depend on node
+//! iteration order:
+//!
+//! 1. **ready** — every node publishes *credits* (free buffer slots) on its
+//!    input channels, computed from pre-cycle state.
+//! 2. **ingress** — endpoint source queues offer at most one payload each.
+//! 3. **valid** — every channel whose head item is due (`available_at ≤
+//!    now`) moves it into a single delivered slot *iff* the consumer
+//!    published a credit; otherwise a `noc::handshake_stall` is counted.
+//! 4. **step** — every node consumes its delivered inputs and emits into
+//!    its output channels. Sends become visible no earlier than the next
+//!    cycle (channel latency ≥ 1), so intra-phase order cannot leak.
+//! 5. **egress** — payloads on endpoint egress channels become deliveries.
+//!
+//! Credits subtract items already in flight on the channel
+//! ([`Channels::effective_credits`]), so a producer's send decision is a
+//! pure function of last cycle's state — the determinism contract that
+//! makes composed fabrics bit-identically checkpointable at any cycle.
+//!
+//! # Building a topology
+//!
+//! See [`torus`] for the worked example: a 2-D torus with dimension-order
+//! routing and bubble flow control is one channel grid, one
+//! [`RouterNode`] per node, and a routing closure — under 100 lines,
+//! inheriting snapshot/restore, tracing, and the generic proptests.
+
+mod arbiter;
+mod channel;
+mod combinators;
+mod fifo;
+mod flight;
+mod graph;
+mod node;
+mod router;
+mod torus;
+
+pub use arbiter::RrToken;
+pub use channel::{ChannelId, Channels};
+pub use combinators::{
+    arbiter, comb, fifo, filter, fork, fsm, join, map, FifoNode, ForkNode, FsmNode, JoinNode,
+};
+pub use fifo::Fifo;
+pub use flight::FlightBuffer;
+pub use graph::{ComposedFabric, ComposedGraph, Endpoint, FabricBuilder};
+pub use node::{Interface, Node, NodeCtx, Payload};
+pub use router::{Flit, RouterNode, DIM_LOCAL};
+pub use torus::{torus, torus_4x4};
+
+// The wavefront arbiter is itself a reusable arbitration combinator; the
+// crossbar consumes it directly.
+pub use crate::wavefront::WavefrontArbiter;

@@ -1,0 +1,67 @@
+//! The component contract: typed ports plus the two-phase step.
+
+use super::channel::{ChannelId, Channels};
+use crate::stats::NetStats;
+use flumen_sim::{FromJson, Json, JsonError, ToJson};
+use flumen_trace::TraceHandle;
+
+/// What a payload must provide to ride a channel: cheap cloning (fork
+/// replicates), debuggability, and a canonical JSON form (checkpoints).
+pub trait Payload: Clone + std::fmt::Debug + ToJson + FromJson + 'static {}
+
+impl<T: Clone + std::fmt::Debug + ToJson + FromJson + 'static> Payload for T {}
+
+/// Typed port declaration: which channels a component consumes from and
+/// produces into. [`FabricBuilder`](super::FabricBuilder) checks at build
+/// time that every channel has exactly one producer and one consumer —
+/// the wiring errors a hand-written fabric only surfaces at runtime.
+pub trait Interface {
+    /// Channels this component consumes from.
+    fn inputs(&self) -> Vec<ChannelId>;
+    /// Channels this component produces into.
+    fn outputs(&self) -> Vec<ChannelId>;
+    /// Display name for wiring diagnostics.
+    fn name(&self) -> String;
+}
+
+/// Shared per-cycle context handed to every node step: the fabric-wide
+/// statistics (links are channels, indexed by [`ChannelId::index`]) and
+/// the trace sink.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// Fabric statistics; nodes account `link_busy` and `bit_hops`.
+    pub stats: &'a mut NetStats,
+    /// Trace sink (free when disabled).
+    pub tracer: &'a TraceHandle,
+}
+
+/// A composable component.
+///
+/// The contract mirrors the module-level evaluation order: `publish_ready`
+/// must be a pure function of the node's pre-cycle state (it runs for all
+/// nodes before any `step`), and `step` may consume at most the deliveries
+/// its own published credits earned. Under those two rules, node iteration
+/// order is unobservable and composed fabrics are deterministic.
+pub trait Node<P: Payload>: Interface + std::fmt::Debug {
+    /// Phase 1: publish credits (free buffer slots) on input channels.
+    fn publish_ready(&mut self, now: u64, chans: &mut Channels<P>);
+
+    /// Phase 4: consume delivered inputs, update state, emit outputs.
+    fn step(&mut self, now: u64, chans: &mut Channels<P>, ctx: &mut NodeCtx<'_>);
+
+    /// Payloads buffered inside the node (for `Network::pending`).
+    fn buffered(&self) -> usize {
+        0
+    }
+
+    /// The node's evolving state as canonical JSON (checkpoints).
+    fn state_json(&self) -> Json;
+
+    /// Restores state written by [`Node::state_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the snapshot does not match this
+    /// node's shape.
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError>;
+}

@@ -1,0 +1,235 @@
+//! A generic input-queued router node for packet-carrying fabrics.
+
+use super::arbiter::RrToken;
+use super::channel::{ChannelId, Channels};
+use super::fifo::Fifo;
+use super::node::{Interface, Node, NodeCtx};
+use crate::packet::Packet;
+use flumen_sim::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// Dimension class of a local (injection/ejection) port: never equal to a
+/// ring dimension, so traffic entering the network always pays the
+/// stricter bubble-rule spare.
+pub const DIM_LOCAL: usize = usize::MAX;
+
+/// The payload of packet-carrying composed fabrics: a packet plus the
+/// cycle at which it becomes eligible for switching at its current router
+/// (models the router pipeline delay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flit {
+    /// The packet in transit.
+    pub pkt: Packet,
+    /// Earliest cycle the current router may switch it.
+    pub ready_at: u64,
+}
+
+flumen_sim::json_struct!(Flit { pkt, ready_at });
+
+/// Timing knobs shared by every [`RouterNode`] in a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterTiming {
+    /// Link bandwidth, bits per core cycle.
+    pub link_bits_per_cycle: u32,
+    /// Router pipeline delay per hop, cycles.
+    pub router_delay: u64,
+    /// Input buffer capacity per port, packets.
+    pub input_queue_pkts: usize,
+}
+
+/// An input-queued router with round-robin port arbitration, per-hop
+/// serialization, and bubble flow control.
+///
+/// Geometry is declarative: the in/out port channel lists, a dimension
+/// class per port (for the bubble rule — a flit crossing dimensions or
+/// entering from the local port must leave **two** free slots downstream,
+/// continuing traffic one), and a routing closure `dst → out-port index`.
+/// The last in port is injection, the last out port ejection.
+pub struct RouterNode {
+    id: usize,
+    timing: RouterTiming,
+    in_ports: Vec<ChannelId>,
+    out_ports: Vec<ChannelId>,
+    in_dim: Vec<usize>,
+    out_dim: Vec<usize>,
+    route: Box<dyn Fn(usize) -> usize>,
+    inputs: Vec<Fifo<Flit>>,
+    out_busy_until: Vec<u64>,
+    rr: RrToken,
+}
+
+impl fmt::Debug for RouterNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RouterNode")
+            .field("id", &self.id)
+            .field("inputs", &self.inputs)
+            .field("out_busy_until", &self.out_busy_until)
+            .field("rr", &self.rr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouterNode {
+    /// Builds a router. `in_ports`/`in_dim` and `out_ports`/`out_dim`
+    /// must be the same length; the routing closure must return a valid
+    /// out-port index for every destination (the ejection port for this
+    /// router's own id).
+    pub fn new(
+        id: usize,
+        timing: RouterTiming,
+        in_ports: Vec<ChannelId>,
+        out_ports: Vec<ChannelId>,
+        in_dim: Vec<usize>,
+        out_dim: Vec<usize>,
+        route: impl Fn(usize) -> usize + 'static,
+    ) -> Self {
+        debug_assert_eq!(in_ports.len(), in_dim.len());
+        debug_assert_eq!(out_ports.len(), out_dim.len());
+        let inputs = in_ports
+            .iter()
+            .map(|_| Fifo::bounded(timing.input_queue_pkts.max(1)))
+            .collect();
+        let out_busy_until = vec![0; out_ports.len()];
+        RouterNode {
+            id,
+            timing,
+            in_ports,
+            out_ports,
+            in_dim,
+            out_dim,
+            route: Box::new(route),
+            inputs,
+            out_busy_until,
+            rr: RrToken::new(),
+        }
+    }
+}
+
+impl Interface for RouterNode {
+    fn inputs(&self) -> Vec<ChannelId> {
+        self.in_ports.clone()
+    }
+    fn outputs(&self) -> Vec<ChannelId> {
+        self.out_ports.clone()
+    }
+    fn name(&self) -> String {
+        format!("router{}", self.id)
+    }
+}
+
+impl Node<Flit> for RouterNode {
+    fn publish_ready(&mut self, _now: u64, chans: &mut Channels<Flit>) {
+        for (buf, &c) in self.inputs.iter().zip(&self.in_ports) {
+            chans.publish_credits(c, buf.free_slots());
+        }
+    }
+
+    fn step(&mut self, now: u64, chans: &mut Channels<Flit>, ctx: &mut NodeCtx<'_>) {
+        // Absorb arrivals: space is guaranteed by the credits published
+        // last phase-1; the router pipeline delay starts on arrival.
+        for (buf, &c) in self.inputs.iter_mut().zip(&self.in_ports) {
+            if let Some(mut flit) = chans.take(c) {
+                flit.ready_at = now + self.timing.router_delay;
+                let _accepted = buf.push_back(flit);
+                debug_assert!(_accepted, "router accepted beyond its published credits");
+            }
+        }
+        // Switch at most one flit per input port, round-robin over ports.
+        let nports = self.in_ports.len();
+        let eject = self.out_ports.len().saturating_sub(1);
+        for i in self.rr.scan(nports) {
+            let Some(head) = self.inputs.get(i).and_then(Fifo::front) else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            let out = (self.route)(head.pkt.dst).min(eject);
+            let Some(&out_ch) = self.out_ports.get(out) else {
+                continue;
+            };
+            if self.out_busy_until.get(out).is_some_and(|&b| b > now) {
+                continue;
+            }
+            if out == eject {
+                // Ejection: one per cycle through the local out port; the
+                // egress channel is always ready.
+                if !chans.can_send(out_ch) {
+                    continue;
+                }
+                let Some(flit) = self.inputs.get_mut(i).and_then(Fifo::pop_front) else {
+                    continue;
+                };
+                self.out_busy_until[out] = now + 1;
+                chans.send(out_ch, flit, now);
+                continue;
+            }
+            // Bubble flow control: flits entering this dimension ring
+            // (injection or a turn) must leave two free slots downstream,
+            // continuing traffic one. Combined with dimension-order
+            // routing this keeps a bubble in every ring — no deadlock.
+            let crossing = self.in_dim.get(i) != self.out_dim.get(out);
+            let spare = if crossing { 2 } else { 1 };
+            if chans.effective_credits(out_ch) < spare || !chans.can_send(out_ch) {
+                continue;
+            }
+            let Some(mut flit) = self.inputs.get_mut(i).and_then(Fifo::pop_front) else {
+                continue;
+            };
+            let ser = flit.pkt.ser_cycles(self.timing.link_bits_per_cycle);
+            self.out_busy_until[out] = now + ser;
+            if let Some(busy) = ctx.stats.link_busy.get_mut(out_ch.index()) {
+                *busy += ser;
+            }
+            ctx.stats.bit_hops += flit.pkt.bits as u64;
+            flit.ready_at = 0;
+            chans.send_after(out_ch, flit, now, ser);
+        }
+        self.rr.rotate(nports);
+        #[cfg(feature = "deep-trace")]
+        for (buf, &c) in self.inputs.iter().zip(&self.in_ports) {
+            let occ = buf.len();
+            let track = c.index() as u32;
+            ctx.tracer.emit(|| {
+                flumen_trace::TraceEvent::counter(
+                    flumen_trace::TraceCategory::Noc,
+                    "noc::fifo_occupancy",
+                    now,
+                    track,
+                    occ as f64,
+                )
+            });
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.inputs.iter().map(Fifo::len).sum()
+    }
+
+    fn state_json(&self) -> Json {
+        Json::obj([
+            ("inputs", self.inputs.to_json()),
+            ("out_busy_until", self.out_busy_until.to_json()),
+            ("rr", self.rr.to_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), JsonError> {
+        let inputs = j.get("inputs")?;
+        let arr = inputs.as_arr()?;
+        if arr.len() != self.inputs.len() {
+            return Err(JsonError(format!(
+                "RouterNode {}: snapshot has {} input queues, node has {}",
+                self.id,
+                arr.len(),
+                self.inputs.len()
+            )));
+        }
+        for (buf, bj) in self.inputs.iter_mut().zip(arr) {
+            buf.restore_items(bj)?;
+        }
+        self.out_busy_until = Vec::from_json(j.get("out_busy_until")?)?;
+        self.rr = RrToken::from_json(j.get("rr")?)?;
+        Ok(())
+    }
+}

@@ -7,6 +7,11 @@
 //! RNG sequence is unchanged from the pre-kernel harness — one stream
 //! seeded from [`RunConfig::seed`] spans warmup and measurement — so every
 //! measured point is bit-identical to the legacy loops.
+//!
+//! Every entry point is generic over `N: Network + ?Sized`, so the same
+//! harness drives hand-written fabrics, `&mut dyn Network` trait objects,
+//! and combinator-composed fabrics from [`crate::fabric`] (e.g.
+//! [`crate::torus`]) without adaptation.
 
 use crate::traffic::{BernoulliInjector, TrafficPattern};
 use crate::{Network, Packet};

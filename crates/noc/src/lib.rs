@@ -13,7 +13,10 @@
 //!   multicast, and wire reservation for compute partitions.
 //!
 //! The [`harness`] module measures latency-vs-load curves (paper Fig. 11)
-//! and runs explicit packet schedules (paper Fig. 1).
+//! and runs explicit packet schedules (paper Fig. 1). Both drive any
+//! [`Network`], including fabrics composed from the latency-insensitive
+//! ready/valid combinators in [`fabric`] — see [`fabric::torus`] for a
+//! 2-D torus defined in under 100 lines of composition.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 mod bus;
 mod crossbar;
 mod error;
+pub mod fabric;
 pub mod harness;
 mod packet;
 mod routed;
@@ -44,6 +48,7 @@ mod wavefront;
 pub use bus::{BusConfig, OpticalBus};
 pub use crossbar::{CrossbarConfig, MzimCrossbar};
 pub use error::{NocError, Result};
+pub use fabric::{torus, ComposedFabric};
 pub use packet::{Delivery, Packet};
 pub use routed::{RoutedConfig, RoutedNetwork, RoutedTopology};
 pub use stats::NetStats;

@@ -6,11 +6,11 @@
 //! with backpressure, and bubble flow control on the ring to avoid cyclic
 //! buffer deadlock.
 
+use crate::fabric::{Fifo, FlightBuffer, RrToken};
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::{Network, NocError, Result};
 use flumen_trace::{EventKind, TraceCategory, TraceEvent, TraceHandle};
-use std::collections::VecDeque;
 
 /// Shape of a routed electrical network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,23 +73,28 @@ struct TimedPkt {
 #[derive(Debug)]
 struct Router {
     /// Input queues: one per neighbor in-port plus one local (last index).
-    inputs: Vec<VecDeque<TimedPkt>>,
+    /// Capacity is enforced at the sender via the bubble rule, so the
+    /// [`Fifo`]s stay unbounded and serialize like the raw queues.
+    inputs: Vec<Fifo<TimedPkt>>,
     /// Output-port busy horizon (serialization), indexed like out ports.
     out_busy_until: Vec<u64>,
-    /// Round-robin pointer over input ports.
-    rr: usize,
+    /// Round-robin token over input ports.
+    rr: RrToken,
 }
 
 /// An electrical ring or mesh NoP.
+///
+/// Built from the [`crate::fabric`] primitives with the exact cycle
+/// behavior and checkpoint bytes of the original hand-wired version.
 #[derive(Debug)]
 pub struct RoutedNetwork {
     topo: RoutedTopology,
     cfg: RoutedConfig,
     routers: Vec<Router>,
     /// Unbounded per-node source queues (open-loop injection).
-    src_queues: Vec<VecDeque<Packet>>,
-    /// Packets on the wire: (arrival_cycle, dest_router, dest_in_port, pkt).
-    in_flight: Vec<(u64, usize, usize, TimedPkt)>,
+    src_queues: Vec<Fifo<Packet>>,
+    /// Packets on the wire, tagged `(dest_router, dest_in_port, pkt)`.
+    in_flight: FlightBuffer<(usize, usize, TimedPkt)>,
     cycle: u64,
     stats: NetStats,
     tracer: TraceHandle,
@@ -122,17 +127,17 @@ impl RoutedNetwork {
         let ports = Self::neighbor_ports(&topo);
         let routers = (0..n)
             .map(|_| Router {
-                inputs: (0..=ports).map(|_| VecDeque::new()).collect(),
+                inputs: (0..=ports).map(|_| Fifo::unbounded()).collect(),
                 out_busy_until: vec![0; ports + 1],
-                rr: 0,
+                rr: RrToken::new(),
             })
             .collect();
         Ok(RoutedNetwork {
             topo,
             cfg,
             routers,
-            src_queues: (0..n).map(|_| VecDeque::new()).collect(),
-            in_flight: Vec::new(),
+            src_queues: (0..n).map(|_| Fifo::unbounded()).collect(),
+            in_flight: FlightBuffer::new(),
             cycle: 0,
             stats: NetStats::new(n * (ports + 1)),
             tracer: TraceHandle::disabled(),
@@ -234,7 +239,7 @@ impl RoutedNetwork {
         let nports = self.routers[r].inputs.len();
         let local_port = nports - 1;
         let now = self.cycle;
-        let start = self.routers[r].rr;
+        let start = self.routers[r].rr.pos();
         for k in 0..nports {
             let in_port = (start + k) % nports;
             let Some(head) = self.routers[r].inputs[in_port].front() else {
@@ -255,7 +260,7 @@ impl RoutedNetwork {
                     continue;
                 };
                 self.routers[r].out_busy_until[eject_port] = now + 1;
-                self.in_flight.push((now + 1, r, usize::MAX, tp));
+                self.in_flight.push(now + 1, (r, usize::MAX, tp));
                 continue;
             }
             if self.routers[r].out_busy_until[out] > now {
@@ -292,9 +297,9 @@ impl RoutedNetwork {
             }
             tp.ready_at = now + ser + self.cfg.link_latency + self.cfg.router_delay;
             self.in_flight
-                .push((now + ser + self.cfg.link_latency, next, next_in, tp));
+                .push(now + ser + self.cfg.link_latency, (next, next_in, tp));
         }
-        self.routers[r].rr = (start + 1) % nports;
+        self.routers[r].rr.rotate(nports);
     }
 }
 
@@ -354,35 +359,36 @@ impl Network for RoutedNetwork {
         }
         // Deliver / hand over arrivals that are due.
         let mut deliveries = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].0 <= now {
-                let (_, node, in_port, tp) = self.in_flight.swap_remove(i);
-                if in_port == usize::MAX {
-                    let lat = now.saturating_sub(tp.pkt.created_at);
-                    self.stats.record_latency(lat);
-                    self.tracer.emit(|| {
-                        TraceEvent::new(
-                            TraceCategory::Noc,
-                            "pkt",
-                            EventKind::AsyncEnd,
-                            now,
-                            node as u32,
-                        )
-                        .with_id(tp.pkt.id)
-                        .with_arg("lat", lat as f64)
-                    });
-                    deliveries.push(Delivery {
-                        packet: tp.pkt,
-                        at: now,
-                    });
-                } else {
-                    self.routers[node].inputs[in_port].push_back(tp);
-                }
+        let Self {
+            in_flight,
+            routers,
+            stats,
+            tracer,
+            ..
+        } = self;
+        in_flight.drain_due(now, |(node, in_port, tp)| {
+            if in_port == usize::MAX {
+                let lat = now.saturating_sub(tp.pkt.created_at);
+                stats.record_latency(lat);
+                tracer.emit(|| {
+                    TraceEvent::new(
+                        TraceCategory::Noc,
+                        "pkt",
+                        EventKind::AsyncEnd,
+                        now,
+                        node as u32,
+                    )
+                    .with_id(tp.pkt.id)
+                    .with_arg("lat", lat as f64)
+                });
+                deliveries.push(Delivery {
+                    packet: tp.pkt,
+                    at: now,
+                });
             } else {
-                i += 1;
+                routers[node].inputs[in_port].push_back(tp);
             }
-        }
+        });
         self.cycle += 1;
         self.stats.cycles += 1;
         deliveries
@@ -427,8 +433,9 @@ impl flumen_sim::Snapshotable for RoutedNetwork {
         use flumen_sim::ToJson;
         let in_flight = flumen_sim::Json::Arr(
             self.in_flight
+                .entries()
                 .iter()
-                .map(|(at, node, port, tp)| {
+                .map(|(at, (node, port, tp))| {
                     flumen_sim::Json::Arr(vec![
                         at.to_json(),
                         node.to_json(),
@@ -461,12 +468,14 @@ impl flumen_sim::Snapshotable for RoutedNetwork {
             };
             in_flight.push((
                 u64::from_json(at)?,
-                usize::from_json(node)?,
-                flumen_sim::json::u64_from_hex(port)? as usize,
-                TimedPkt::from_json(tp)?,
+                (
+                    usize::from_json(node)?,
+                    flumen_sim::json::u64_from_hex(port)? as usize,
+                    TimedPkt::from_json(tp)?,
+                ),
             ));
         }
-        self.in_flight = in_flight;
+        self.in_flight = FlightBuffer::from_entries(in_flight);
         self.routers = Vec::from_json(j.get("routers")?)?;
         self.src_queues = Vec::from_json(j.get("src_queues")?)?;
         self.stats = NetStats::from_json(j.get("stats")?)?;

@@ -3,11 +3,13 @@
 //! bit-identically to the uninterrupted original — same deliveries, same
 //! stats (f64 fields compared by bit pattern), same final backlog.
 
+use flumen_noc::fabric::torus_4x4;
 use flumen_noc::{
     BusConfig, CrossbarConfig, MzimCrossbar, Network, OpticalBus, Packet, RoutedConfig,
     RoutedNetwork, RoutedTopology,
 };
 use flumen_sim::{SimRng, Snapshotable};
+use proptest::prelude::*;
 use rand::Rng;
 
 /// Drives `net` for `cycles` steps under deterministic random load,
@@ -35,10 +37,22 @@ fn drive<N: Network>(net: &mut N, rng: &mut SimRng, cycles: u64) -> Vec<(u64, u6
     digest
 }
 
-fn check_network<N: Network + Snapshotable>(mut original: N, mut fresh: N, seed: u64) {
+fn check_network<N: Network + Snapshotable>(original: N, fresh: N, seed: u64) {
+    check_network_at(original, fresh, seed, 200);
+}
+
+/// Like [`check_network`] but checkpoints after `warm` cycles — callers
+/// pick arbitrary mid-phase cycles to prove there is no "safe" snapshot
+/// point the fabric secretly depends on.
+fn check_network_at<N: Network + Snapshotable>(
+    mut original: N,
+    mut fresh: N,
+    seed: u64,
+    warm: u64,
+) {
     let mut rng = SimRng::seed_from_u64(seed);
     // Warm the network into a state with queued + in-flight packets.
-    drive(&mut original, &mut rng, 200);
+    drive(&mut original, &mut rng, warm);
     let snap = original.snapshot();
     let rng_snap = flumen_sim::ToJson::to_json(&rng);
 
@@ -83,6 +97,24 @@ fn ring_resumes_bit_identically() {
 #[test]
 fn mesh_resumes_bit_identically() {
     check_network(RoutedNetwork::mesh_4x4(), RoutedNetwork::mesh_4x4(), 0x3E5A);
+}
+
+#[test]
+fn composed_torus_resumes_bit_identically() {
+    check_network(torus_4x4(), torus_4x4(), 0x7025);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A composed fabric checkpointed at a *random* cycle mid-phase — with
+    /// flits queued in router Fifos, sitting on channel wires, and credits
+    /// about to be republished — must resume to the same delivery stream
+    /// and stats as the uninterrupted run.
+    #[test]
+    fn composed_torus_resumes_from_any_cycle(seed in any::<u32>(), warm in 50u64..400) {
+        check_network_at(torus_4x4(), torus_4x4(), seed as u64, warm);
+    }
 }
 
 #[test]

@@ -60,10 +60,11 @@ impl PayloadTable {
 fn service_of(spec: &JobSpec, result: &JobResult) -> Cycles {
     let raw = match (spec, result) {
         (_, JobResult::FullRun(r)) => r.cycles,
-        (JobSpec::NocPoint { cfg, .. }, JobResult::NocPoint(_)) => cfg.warmup + cfg.measure,
-        // A NocPoint result can only come from a NocPoint spec; keep the
-        // fallback total anyway.
-        (JobSpec::FullRun { .. }, JobResult::NocPoint(_)) => 1,
+        (JobSpec::NocPoint { cfg, .. }, JobResult::NocPoint(_))
+        | (JobSpec::NocStats { cfg, .. }, JobResult::NocStats(_)) => cfg.warmup + cfg.measure,
+        // A traffic result can only come from the matching traffic spec;
+        // keep the fallback total anyway.
+        (_, JobResult::NocPoint(_)) | (_, JobResult::NocStats(_)) => 1,
     };
     Cycles::new(raw.max(1))
 }

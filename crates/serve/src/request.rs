@@ -28,7 +28,7 @@ impl RequestClass {
     pub fn of(job: &JobSpec) -> Self {
         match job {
             JobSpec::FullRun { .. } => RequestClass::Mvm,
-            JobSpec::NocPoint { .. } => RequestClass::Traffic,
+            JobSpec::NocPoint { .. } | JobSpec::NocStats { .. } => RequestClass::Traffic,
         }
     }
 }

@@ -490,6 +490,24 @@ impl FromJson for u32 {
     }
 }
 
+// The unit type rides as `null` so stateless components (e.g. a pure
+// `comb` combinator with `S = ()`) can satisfy generic snapshot bounds
+// without inventing a dummy state value.
+impl ToJson for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl FromJson for () {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(()),
+            other => Err(JsonError(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
 impl ToJson for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)

@@ -17,8 +17,8 @@ use flumen::{
 use flumen_noc::harness::{measure_point, LatencyPoint, RunConfig};
 use flumen_noc::traffic::TrafficPattern;
 use flumen_noc::{
-    BusConfig, CrossbarConfig, MzimCrossbar, Network, OpticalBus, RoutedConfig, RoutedNetwork,
-    RoutedTopology,
+    torus, BusConfig, CrossbarConfig, MzimCrossbar, NetStats, Network, OpticalBus, RoutedConfig,
+    RoutedNetwork, RoutedTopology,
 };
 use flumen_workloads::{Benchmark, ImageBlur, Jpeg, ResnetConv3, Rotation3d, Vgg16Fc};
 
@@ -164,6 +164,14 @@ pub enum NetSpec {
         /// Endpoint count.
         nodes: usize,
     },
+    /// Electrical 2-D torus composed from the latency-insensitive fabric
+    /// combinators ([`flumen_noc::fabric`]), dimension-order routed.
+    Torus {
+        /// Routers per row.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
 }
 
 impl NetSpec {
@@ -187,6 +195,7 @@ impl NetSpec {
             NetSpec::Mesh { .. } => "mesh",
             NetSpec::OptBus { .. } => "optbus",
             NetSpec::Flumen { .. } => "flumen",
+            NetSpec::Torus { .. } => "torus",
         }
     }
 
@@ -214,6 +223,9 @@ impl NetSpec {
             NetSpec::Flumen { nodes } => {
                 Box::new(MzimCrossbar::new(nodes, CrossbarConfig::default()).expect("valid xbar"))
             }
+            NetSpec::Torus { width, height } => {
+                Box::new(torus(width, height, &RoutedConfig::default()).expect("valid torus"))
+            }
         }
     }
 }
@@ -225,7 +237,7 @@ impl ToJson for NetSpec {
             NetSpec::Ring { nodes } | NetSpec::OptBus { nodes } | NetSpec::Flumen { nodes } => {
                 fields.push(("nodes", nodes.to_json()));
             }
-            NetSpec::Mesh { width, height } => {
+            NetSpec::Mesh { width, height } | NetSpec::Torus { width, height } => {
                 fields.push(("width", width.to_json()));
                 fields.push(("height", height.to_json()));
             }
@@ -249,6 +261,10 @@ impl FromJson for NetSpec {
             }),
             "flumen" => Ok(NetSpec::Flumen {
                 nodes: j.get("nodes")?.as_usize()?,
+            }),
+            "torus" => Ok(NetSpec::Torus {
+                width: j.get("width")?.as_usize()?,
+                height: j.get("height")?.as_usize()?,
             }),
             other => Err(JsonError(format!("unknown net {other:?}"))),
         }
@@ -286,6 +302,20 @@ pub enum JobSpec {
         /// Harness parameters, including the injection seed.
         cfg: RunConfig,
     },
+    /// Like [`JobSpec::NocPoint`] but the result additionally carries the
+    /// measurement window's raw [`NetStats`] counters, so drivers can do
+    /// energy accounting (bit-hops, link occupancy) on cached results —
+    /// the unit behind the baseline-vs-torus comparison driver.
+    NocStats {
+        /// Network under test.
+        net: NetSpec,
+        /// Destination pattern.
+        pattern: TrafficPattern,
+        /// Offered load, packets/node/cycle.
+        load: f64,
+        /// Harness parameters, including the injection seed.
+        cfg: RunConfig,
+    },
 }
 
 impl JobSpec {
@@ -301,6 +331,11 @@ impl JobSpec {
                 net, pattern, load, ..
             } => {
                 format!("noc/{}/{}/load{:.3}", net.name(), pattern.name(), load)
+            }
+            JobSpec::NocStats {
+                net, pattern, load, ..
+            } => {
+                format!("nocstats/{}/{}/load{:.3}", net.name(), pattern.name(), load)
             }
         }
     }
@@ -366,6 +401,19 @@ impl JobSpec {
                 let mut network = net.build();
                 JobResult::NocPoint(measure_point(network.as_mut(), *pattern, *load, cfg))
             }
+            JobSpec::NocStats {
+                net,
+                pattern,
+                load,
+                cfg,
+            } => {
+                let mut network = net.build();
+                let latency = measure_point(network.as_mut(), *pattern, *load, cfg);
+                JobResult::NocStats(NocStatsPoint {
+                    latency,
+                    stats: network.stats().clone(),
+                })
+            }
         }
     }
 }
@@ -395,6 +443,18 @@ impl ToJson for JobSpec {
                 ("load", load.to_json()),
                 ("cfg", cfg.to_json()),
             ]),
+            JobSpec::NocStats {
+                net,
+                pattern,
+                load,
+                cfg,
+            } => Json::obj([
+                ("job", Json::Str("noc_stats".into())),
+                ("net", net.to_json()),
+                ("pattern", pattern.to_json()),
+                ("load", load.to_json()),
+                ("cfg", cfg.to_json()),
+            ]),
         }
     }
 }
@@ -413,8 +473,44 @@ impl FromJson for JobSpec {
                 load: FromJson::from_json(j.get("load")?)?,
                 cfg: FromJson::from_json(j.get("cfg")?)?,
             }),
+            "noc_stats" => Ok(JobSpec::NocStats {
+                net: FromJson::from_json(j.get("net")?)?,
+                pattern: FromJson::from_json(j.get("pattern")?)?,
+                load: FromJson::from_json(j.get("load")?)?,
+                cfg: FromJson::from_json(j.get("cfg")?)?,
+            }),
             other => Err(JsonError(format!("unknown job kind {other:?}"))),
         }
+    }
+}
+
+/// A latency point plus the raw network counters behind it. The stats
+/// cover the measurement window (the harness resets them after warmup),
+/// so `seconds = cfg.measure / clock_hz` is the matching wall-time for
+/// static-power integration.
+#[derive(Debug, Clone)]
+pub struct NocStatsPoint {
+    /// The latency/throughput measurement.
+    pub latency: LatencyPoint,
+    /// Measurement-window counters (bit-hops, link occupancy, …).
+    pub stats: NetStats,
+}
+
+impl ToJson for NocStatsPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("latency", self.latency.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NocStatsPoint {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(NocStatsPoint {
+            latency: FromJson::from_json(j.get("latency")?)?,
+            stats: FromJson::from_json(j.get("stats")?)?,
+        })
     }
 }
 
@@ -426,6 +522,8 @@ pub enum JobResult {
     FullRun(FullRunResult),
     /// Output of a [`JobSpec::NocPoint`].
     NocPoint(LatencyPoint),
+    /// Output of a [`JobSpec::NocStats`].
+    NocStats(NocStatsPoint),
 }
 
 impl JobResult {
@@ -437,11 +535,11 @@ impl JobResult {
     pub fn full_run(&self) -> &FullRunResult {
         match self {
             JobResult::FullRun(r) => r,
-            JobResult::NocPoint(_) => panic!("expected full-run result, got NoC point"),
+            _ => panic!("expected full-run result"),
         }
     }
 
-    /// The latency-point result.
+    /// The latency-point result (plain or stats-carrying).
     ///
     /// # Panics
     ///
@@ -449,7 +547,20 @@ impl JobResult {
     pub fn latency(&self) -> &LatencyPoint {
         match self {
             JobResult::NocPoint(p) => p,
+            JobResult::NocStats(p) => &p.latency,
             JobResult::FullRun(_) => panic!("expected NoC point, got full-run result"),
+        }
+    }
+
+    /// The stats-carrying latency result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a [`JobResult::NocStats`].
+    pub fn noc_stats(&self) -> &NocStatsPoint {
+        match self {
+            JobResult::NocStats(p) => p,
+            _ => panic!("expected NoC stats result"),
         }
     }
 }
@@ -465,6 +576,10 @@ impl ToJson for JobResult {
                 ("kind", Json::Str("noc_point".into())),
                 ("data", p.to_json()),
             ]),
+            JobResult::NocStats(p) => Json::obj([
+                ("kind", Json::Str("noc_stats".into())),
+                ("data", p.to_json()),
+            ]),
         }
     }
 }
@@ -474,6 +589,7 @@ impl FromJson for JobResult {
         match j.get("kind")?.as_str()? {
             "full_run" => Ok(JobResult::FullRun(FromJson::from_json(j.get("data")?)?)),
             "noc_point" => Ok(JobResult::NocPoint(FromJson::from_json(j.get("data")?)?)),
+            "noc_stats" => Ok(JobResult::NocStats(FromJson::from_json(j.get("data")?)?)),
             other => Err(JsonError(format!("unknown result kind {other:?}"))),
         }
     }
@@ -503,9 +619,21 @@ mod tests {
         }
     }
 
+    fn sample_torus_stats() -> JobSpec {
+        JobSpec::NocStats {
+            net: NetSpec::Torus {
+                width: 4,
+                height: 4,
+            },
+            pattern: TrafficPattern::UniformRandom,
+            load: 0.2,
+            cfg: RunConfig::default(),
+        }
+    }
+
     #[test]
     fn specs_round_trip_through_json() {
-        for spec in [sample_full_run(), sample_noc()] {
+        for spec in [sample_full_run(), sample_noc(), sample_torus_stats()] {
             let text = spec.canonical_json();
             let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, spec);
@@ -571,5 +699,35 @@ mod tests {
         let b = spec.execute();
         assert_eq!(a.latency().avg_latency, b.latency().avg_latency);
         assert_eq!(a.latency().throughput, b.latency().throughput);
+    }
+
+    #[test]
+    fn noc_stats_job_carries_counters_and_round_trips() {
+        let spec = JobSpec::NocStats {
+            net: NetSpec::Torus {
+                width: 2,
+                height: 2,
+            },
+            pattern: TrafficPattern::UniformRandom,
+            load: 0.1,
+            cfg: RunConfig {
+                warmup: 100,
+                measure: 500,
+                ..RunConfig::default()
+            },
+        };
+        let result = spec.execute();
+        let p = result.noc_stats();
+        assert!(p.stats.bit_hops > 0, "measurement window moved no bits");
+        assert_eq!(p.latency.offered_load, 0.1);
+        // The result (with its embedded NetStats) survives the cache's
+        // JSON round trip bit-identically.
+        let back =
+            JobResult::from_json(&Json::parse(&result.to_json().to_canonical()).unwrap()).unwrap();
+        assert_eq!(back.noc_stats().stats.bit_hops, p.stats.bit_hops);
+        assert_eq!(
+            back.noc_stats().latency.avg_latency.to_bits(),
+            p.latency.avg_latency.to_bits()
+        );
     }
 }

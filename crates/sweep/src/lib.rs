@@ -44,6 +44,8 @@ pub use cache::{CacheEntry, ResultCache};
 pub use checkpoint::CheckpointStore;
 pub use exec::{run_plan, JobRecord, SweepOptions, SweepPlan, SweepReport};
 pub use flumen_photonics::progstore::{ProgStoreStats, ProgramStore};
-pub use job::{BenchKind, BenchSize, BenchSpec, JobResult, JobSpec, NetSpec, CODE_VERSION};
+pub use job::{
+    BenchKind, BenchSize, BenchSpec, JobResult, JobSpec, NetSpec, NocStatsPoint, CODE_VERSION,
+};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use progstore::{plan_weight_blocks, precompile_blocks, precompile_plan, PrecompileReport};

@@ -70,6 +70,9 @@ pub const REGISTERED_EVENT_NAMES: &[&str] = &[
     "l3_miss",
     "link_busy",
     "link_util",
+    "noc::backpressure",
+    "noc::fifo_occupancy",
+    "noc::handshake_stall",
     "offload",
     "offload_done",
     "partition",
